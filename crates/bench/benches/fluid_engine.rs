@@ -1,0 +1,89 @@
+//! Simulator throughput: how much virtual time one wall-clock second buys.
+//!
+//! The experiment suite replays hours of cluster time; these benches keep
+//! the fluid engine's tick cost honest.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::GraphBuilder;
+use ds2_nexmark::profiles::{setup, QueryId, Target};
+use ds2_simulator::engine::{EngineConfig, EngineMode, FluidEngine};
+use ds2_simulator::profile::OperatorProfile;
+use ds2_simulator::source::SourceSpec;
+
+fn wordcount_engine() -> FluidEngine {
+    let mut b = GraphBuilder::new();
+    let src = b.operator("source");
+    let fm = b.operator("flat_map");
+    let cnt = b.operator("count");
+    b.connect(src, fm);
+    b.connect(fm, cnt);
+    let graph = b.build().unwrap();
+    let mut profiles = BTreeMap::new();
+    profiles.insert(fm, OperatorProfile::with_capacity(140_000.0, 2.0));
+    profiles.insert(cnt, OperatorProfile::with_capacity(400_000.0, 1.0));
+    let mut sources = BTreeMap::new();
+    sources.insert(src, SourceSpec::constant(2_000_000.0));
+    let mut d = Deployment::uniform(&graph, 1);
+    d.set(fm, 16);
+    d.set(cnt, 8);
+    FluidEngine::new(graph, profiles, sources, d, EngineConfig::default())
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    c.bench_function("fluid_tick_wordcount_flink", |b| {
+        let mut engine = wordcount_engine();
+        b.iter(|| {
+            std::hint::black_box(engine.tick());
+        })
+    });
+
+    c.bench_function("fluid_tick_nexmark_q3_flink", |b| {
+        let s = setup(QueryId::Q3, Target::Flink);
+        let mut engine = FluidEngine::new(
+            s.graph.clone(),
+            s.profiles,
+            s.sources,
+            Deployment::uniform(&s.graph, 20),
+            EngineConfig {
+                mode: EngineMode::Flink,
+                ..Default::default()
+            },
+        );
+        b.iter(|| {
+            std::hint::black_box(engine.tick());
+        })
+    });
+
+    c.bench_function("fluid_tick_nexmark_q5_timely", |b| {
+        let s = setup(QueryId::Q5, Target::Timely);
+        let mut engine = FluidEngine::new(
+            s.graph.clone(),
+            s.profiles,
+            s.sources,
+            Deployment::uniform(&s.graph, 1),
+            EngineConfig {
+                mode: EngineMode::Timely,
+                timely_workers: 4,
+                ..Default::default()
+            },
+        );
+        b.iter(|| {
+            std::hint::black_box(engine.tick());
+        })
+    });
+
+    c.bench_function("snapshot_collection_wordcount", |b| {
+        let mut engine = wordcount_engine();
+        engine.run_for(1_000_000_000);
+        b.iter(|| {
+            engine.run_for(100_000_000);
+            std::hint::black_box(engine.collect_snapshot())
+        })
+    });
+}
+
+criterion_group!(benches, bench_ticks);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! How fast is a DS2 scaling decision?
+//!
+//! The paper positions DS2's decision latency as negligible next to the
+//! engine's redeployment time (§6); this bench quantifies it: one full
+//! Eq. 7–8 evaluation over dataflows of growing size.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
+use ds2_core::policy::Ds2Policy;
+use ds2_core::rates::InstanceMetrics;
+use ds2_core::snapshot::MetricsSnapshot;
+
+/// Builds a chain dataflow of `n` operators and a snapshot with
+/// `instances` instances per operator.
+fn chain_scenario(n: usize, instances: usize) -> (LogicalGraph, MetricsSnapshot, Deployment) {
+    let mut b = GraphBuilder::new();
+    let mut prev: Option<OperatorId> = None;
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let op = b.operator(format!("op{i}"));
+        if let Some(p) = prev {
+            b.connect(p, op);
+        }
+        prev = Some(op);
+        ids.push(op);
+    }
+    let graph = b.build().unwrap();
+    let mut snap = MetricsSnapshot::new();
+    let mut parallelism = BTreeMap::new();
+    for (i, &op) in ids.iter().enumerate() {
+        parallelism.insert(op, instances);
+        if i == 0 {
+            snap.set_source_rate(op, 1_000_000.0);
+            snap.insert_instances(
+                op,
+                vec![
+                    InstanceMetrics {
+                        records_out: 100_000,
+                        useful_ns: 500_000_000,
+                        window_ns: 1_000_000_000,
+                        ..Default::default()
+                    };
+                    instances
+                ],
+            );
+        } else {
+            snap.insert_instances(
+                op,
+                vec![
+                    InstanceMetrics {
+                        records_in: 100_000,
+                        records_out: 100_000,
+                        useful_ns: 800_000_000,
+                        window_ns: 1_000_000_000,
+                        ..Default::default()
+                    };
+                    instances
+                ],
+            );
+        }
+    }
+    (graph, snap, Deployment::from_map(parallelism))
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ds2_policy_evaluate");
+    for &(ops, instances) in &[(5usize, 4usize), (20, 16), (100, 16), (500, 32)] {
+        let (graph, snap, deployment) = chain_scenario(ops, instances);
+        let policy = Ds2Policy::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ops}ops_x{instances}inst")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    policy
+                        .evaluate(
+                            std::hint::black_box(&graph),
+                            std::hint::black_box(&snap),
+                            std::hint::black_box(&deployment),
+                        )
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

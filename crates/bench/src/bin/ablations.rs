@@ -1,0 +1,12 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use ds2_bench::experiments::ablations;
+
+fn main() {
+    let (_r, report) = ablations::linear_scaling_ablation(600_000_000_000);
+    println!("{report}\n");
+    let (_r, report) = ablations::heron_queue_ablation(1_200_000_000_000);
+    println!("{report}\n");
+    println!("{}\n", ablations::controller_shootout(400_000_000_000));
+    println!("{}", ablations::timely_rule_ablation(60_000_000_000));
+}

@@ -1,0 +1,6 @@
+//! Figure 10: instrumentation overhead, vanilla vs instrumented.
+
+fn main() {
+    let (_f, _t, report) = ds2_bench::experiments::overhead::figure10(120_000_000_000);
+    println!("{report}");
+}

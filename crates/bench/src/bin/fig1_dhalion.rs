@@ -1,0 +1,8 @@
+//! Figure 1: Dhalion's scaling decisions on the under-provisioned word
+//! count — six-plus speculative steps, slow convergence.
+
+fn main() {
+    let (_run, report) = ds2_bench::experiments::heron::figure1(3_000_000_000_000);
+    println!("{report}");
+    println!("timeline CSV written to results/fig1_dhalion_timeline.csv");
+}

@@ -1,0 +1,7 @@
+//! Figure 6: DS2 vs Dhalion on the Heron word count.
+
+fn main() {
+    let (_d, _s, report) = ds2_bench::experiments::heron::figure6(3_000_000_000_000);
+    println!("{report}");
+    println!("timelines written to results/fig6_*.csv");
+}

@@ -1,0 +1,7 @@
+//! Figure 7: DS2 driving Flink through a dynamic two-phase word count.
+
+fn main() {
+    let (_run, report) = ds2_bench::experiments::flink_dynamic::figure7(1_600_000_000_000);
+    println!("{report}");
+    println!("timeline written to results/fig7_timeline.csv");
+}

@@ -1,0 +1,9 @@
+//! Figure 8: observed source rates and record-latency distributions across
+//! configurations of the Nexmark queries on the Flink personality.
+
+fn main() {
+    println!(
+        "{}",
+        ds2_bench::experiments::accuracy::figure8(120_000_000_000)
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 9: per-epoch latency CDFs across worker counts on the Timely
+//! personality.
+
+fn main() {
+    println!(
+        "{}",
+        ds2_bench::experiments::accuracy::figure9(120_000_000_000)
+    );
+}

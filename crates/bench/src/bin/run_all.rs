@@ -1,0 +1,38 @@
+//! Runs the full experiment suite in paper order.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let (_r, report) = ds2_bench::experiments::heron::figure1(3_000_000_000_000);
+    println!("{report}");
+    let (_d, _s, report) = ds2_bench::experiments::heron::figure6(3_000_000_000_000);
+    println!("{report}");
+    let (_r, report) = ds2_bench::experiments::flink_dynamic::figure7(1_600_000_000_000);
+    println!("{report}");
+    let cells = ds2_bench::experiments::table4::run_table(600_000_000_000);
+    println!("{}", ds2_bench::experiments::table4::report(&cells));
+    println!(
+        "{}",
+        ds2_bench::experiments::accuracy::figure8(120_000_000_000)
+    );
+    println!(
+        "{}",
+        ds2_bench::experiments::accuracy::figure9(120_000_000_000)
+    );
+    let (_f, _t, report) = ds2_bench::experiments::overhead::figure10(120_000_000_000);
+    println!("{report}");
+    let (_o, report) = ds2_bench::experiments::skew::skew_experiment(300_000_000_000);
+    println!("{report}");
+    let (_r, report) = ds2_bench::experiments::ablations::linear_scaling_ablation(600_000_000_000);
+    println!("{report}\n");
+    let (_r, report) = ds2_bench::experiments::ablations::heron_queue_ablation(1_200_000_000_000);
+    println!("{report}\n");
+    println!(
+        "{}\n",
+        ds2_bench::experiments::ablations::controller_shootout(400_000_000_000)
+    );
+    println!(
+        "{}",
+        ds2_bench::experiments::ablations::timely_rule_ablation(60_000_000_000)
+    );
+    println!("full suite wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

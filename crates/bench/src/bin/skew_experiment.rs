@@ -1,0 +1,7 @@
+//! §4.2.3: DS2 under data skew converges in two steps to the no-skew
+//! optimum without over-provisioning.
+
+fn main() {
+    let (_o, report) = ds2_bench::experiments::skew::skew_experiment(300_000_000_000);
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Table 4: DS2 convergence steps for the Nexmark queries on Flink.
+
+fn main() {
+    let cells = ds2_bench::experiments::table4::run_table(600_000_000_000);
+    println!("{}", ds2_bench::experiments::table4::report(&cells));
+}

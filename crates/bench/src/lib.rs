@@ -1,0 +1,28 @@
+//! # ds2-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) on
+//! the simulator substrate, plus ablations of the design choices:
+//!
+//! | Paper result | Module | Binary |
+//! |---|---|---|
+//! | Fig. 1 (Dhalion alone) | [`experiments::heron`] | `fig1_dhalion` |
+//! | Fig. 6 (DS2 vs Dhalion) | [`experiments::heron`] | `fig6_heron_comparison` |
+//! | Fig. 7 (Flink dynamic) | [`experiments::flink_dynamic`] | `fig7_flink_dynamic` |
+//! | Table 4 (convergence) | [`experiments::table4`] | `table4_convergence` |
+//! | Fig. 8 (Flink accuracy) | [`experiments::accuracy`] | `fig8_flink_accuracy` |
+//! | Fig. 9 (Timely accuracy) | [`experiments::accuracy`] | `fig9_timely_accuracy` |
+//! | Fig. 10 (overhead) | [`experiments::overhead`] | `fig10_overhead` |
+//! | §4.2.3 (skew) | [`experiments::skew`] | `skew_experiment` |
+//! | ablations | [`experiments::ablations`] | `ablations` |
+//!
+//! Each binary prints the paper-style rows and writes CSV series under
+//! `results/` (override with `DS2_RESULTS_DIR`). `run_all` executes the
+//! whole suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod runners;
+pub mod wordcount;

@@ -1,0 +1,159 @@
+//! Physical deployments: the parallelism assigned to each logical operator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::Ds2Error;
+use crate::graph::{LogicalGraph, OperatorId};
+
+/// A physical execution plan: number of instances per logical operator.
+///
+/// This is the quantity DS2 controls. A deployment is valid for a graph when
+/// it assigns at least one instance to every operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deployment {
+    parallelism: BTreeMap<OperatorId, usize>,
+}
+
+impl Deployment {
+    /// Creates a deployment assigning `p` instances to every operator.
+    pub fn uniform(graph: &LogicalGraph, p: usize) -> Self {
+        Self {
+            parallelism: graph.operators().map(|op| (op, p.max(1))).collect(),
+        }
+    }
+
+    /// Creates a deployment from explicit per-operator parallelism.
+    pub fn from_map(parallelism: BTreeMap<OperatorId, usize>) -> Self {
+        Self { parallelism }
+    }
+
+    /// Validates that every operator of `graph` has at least one instance.
+    pub fn validate(&self, graph: &LogicalGraph) -> Result<(), Ds2Error> {
+        for op in graph.operators() {
+            match self.parallelism.get(&op) {
+                None => {
+                    return Err(Ds2Error::InvalidDeployment(format!(
+                        "no parallelism assigned to {op} ({})",
+                        graph.name(op)
+                    )))
+                }
+                Some(0) => {
+                    return Err(Ds2Error::InvalidDeployment(format!(
+                        "{op} ({}) assigned zero instances",
+                        graph.name(op)
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Parallelism of one operator (0 if the operator is unknown).
+    pub fn parallelism(&self, op: OperatorId) -> usize {
+        self.parallelism.get(&op).copied().unwrap_or(0)
+    }
+
+    /// Sets the parallelism of one operator.
+    pub fn set(&mut self, op: OperatorId, p: usize) {
+        self.parallelism.insert(op, p);
+    }
+
+    /// Iterates over `(operator, parallelism)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (OperatorId, usize)> + '_ {
+        self.parallelism.iter().map(|(&op, &p)| (op, p))
+    }
+
+    /// Total number of instances across all operators.
+    pub fn total_instances(&self) -> usize {
+        self.parallelism.values().sum()
+    }
+
+    /// The underlying map.
+    pub fn as_map(&self) -> &BTreeMap<OperatorId, usize> {
+        &self.parallelism
+    }
+
+    /// Largest absolute per-operator parallelism change between two plans.
+    pub fn max_delta(&self, other: &Deployment) -> usize {
+        let mut delta = 0usize;
+        for (&op, &p) in &self.parallelism {
+            let q = other.parallelism(op);
+            delta = delta.max(p.abs_diff(q));
+        }
+        for (&op, &q) in &other.parallelism {
+            if !self.parallelism.contains_key(&op) {
+                delta = delta.max(q);
+            }
+        }
+        delta
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (op, p)) in self.parallelism.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}:{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph() -> LogicalGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_assigns_everyone() {
+        let g = graph();
+        let d = Deployment::uniform(&g, 4);
+        assert_eq!(d.parallelism(OperatorId(0)), 4);
+        assert_eq!(d.parallelism(OperatorId(1)), 4);
+        assert_eq!(d.total_instances(), 8);
+        assert!(d.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn uniform_clamps_zero_to_one() {
+        let g = graph();
+        let d = Deployment::uniform(&g, 0);
+        assert_eq!(d.parallelism(OperatorId(0)), 1);
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_zero() {
+        let g = graph();
+        let d = Deployment::from_map([(OperatorId(0), 1)].into());
+        assert!(d.validate(&g).is_err());
+        let d = Deployment::from_map([(OperatorId(0), 1), (OperatorId(1), 0)].into());
+        assert!(d.validate(&g).is_err());
+    }
+
+    #[test]
+    fn max_delta_is_symmetric() {
+        let a = Deployment::from_map([(OperatorId(0), 2), (OperatorId(1), 10)].into());
+        let b = Deployment::from_map([(OperatorId(0), 5), (OperatorId(1), 7)].into());
+        assert_eq!(a.max_delta(&b), 3);
+        assert_eq!(b.max_delta(&a), 3);
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let d = Deployment::from_map([(OperatorId(0), 2), (OperatorId(1), 3)].into());
+        assert_eq!(d.to_string(), "{op0:2, op1:3}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the DS2 core crate.
+
+use std::fmt;
+
+use crate::graph::OperatorId;
+
+/// Errors produced by graph construction, policy evaluation, or the manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ds2Error {
+    /// The logical graph failed validation (cycle, bad edge, empty, ...).
+    InvalidGraph(String),
+    /// A metrics snapshot is missing data for an operator the policy needs.
+    MissingMetrics(OperatorId),
+    /// An operator reported no useful time in the window, so its true rates
+    /// (Eq. 1–2) are undefined and the policy cannot estimate it.
+    UndefinedRates(OperatorId),
+    /// A snapshot value was not finite or otherwise out of domain.
+    InvalidMetrics(String),
+    /// Deployment/parallelism information is inconsistent with the graph.
+    InvalidDeployment(String),
+}
+
+impl fmt::Display for Ds2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ds2Error::InvalidGraph(msg) => write!(f, "invalid logical graph: {msg}"),
+            Ds2Error::MissingMetrics(op) => write!(f, "no metrics reported for {op}"),
+            Ds2Error::UndefinedRates(op) => {
+                write!(
+                    f,
+                    "true rates undefined for {op} (zero useful time in window)"
+                )
+            }
+            Ds2Error::InvalidMetrics(msg) => write!(f, "invalid metrics: {msg}"),
+            Ds2Error::InvalidDeployment(msg) => write!(f, "invalid deployment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Ds2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Ds2Error::UndefinedRates(OperatorId(3));
+        let s = e.to_string();
+        assert!(s.contains("op3"));
+        assert!(s.contains("useful time"));
+        let e = Ds2Error::InvalidGraph("cycle".into());
+        assert!(e.to_string().contains("cycle"));
+    }
+}

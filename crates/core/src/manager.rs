@@ -1,0 +1,616 @@
+//! The Scaling Manager (paper §4.2): wraps the DS2 policy with the
+//! operational machinery real deployments need.
+//!
+//! The manager implements the four §4.2.1 knobs — policy interval, warm-up
+//! time, activation time, and target-rate ratio — plus the §4.2.2
+//! practicalities: suppression of minor changes, rollback on post-deploy
+//! degradation, and a decision limit that guarantees convergence under data
+//! skew (§4.2.3).
+
+use std::collections::BTreeMap;
+
+use crate::controller::{ControllerVerdict, ScalingController};
+use crate::deployment::Deployment;
+use crate::graph::{LogicalGraph, OperatorId};
+use crate::policy::{Ds2Policy, PolicyConfig};
+use crate::snapshot::MetricsSnapshot;
+
+/// How several consecutive policy decisions are combined before acting
+/// (§4.2.1 "Activation time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationCombine {
+    /// Per-operator maximum across the pending decisions: robust for
+    /// operators with bursty processing rates such as tumbling windows.
+    Max,
+    /// Per-operator median across the pending decisions: robust to outlier
+    /// intervals.
+    Median,
+}
+
+/// Configuration of the [`ScalingManager`].
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Policy evaluation cadence in nanoseconds. The manager itself is
+    /// driven externally; this value documents the cadence and is used to
+    /// derive defaults elsewhere (harness, metrics windows).
+    pub policy_interval_ns: u64,
+    /// Number of consecutive policy intervals ignored after a scaling action
+    /// (and at startup), while rate measurements stabilise.
+    pub warmup_intervals: u32,
+    /// Number of consecutive policy decisions combined before a scaling
+    /// command is issued. `1` applies each decision immediately.
+    pub activation_intervals: u32,
+    /// How pending decisions are combined when `activation_intervals > 1`.
+    pub activation_combine: ActivationCombine,
+    /// Maximum allowed shortfall of achieved vs. target source rate, as a
+    /// fraction in `(0, 1]`. With `1.0` the achieved rate must match the
+    /// target exactly (up to `ratio_tolerance`); when it does not and the
+    /// policy sees no further scaling need, the manager boosts requirements
+    /// by `target/achieved` — compensating for uncaptured overheads.
+    pub target_rate_ratio: f64,
+    /// Slack applied to `target_rate_ratio` comparisons (default 2%), absorbing
+    /// measurement noise.
+    pub ratio_tolerance: f64,
+    /// Per-operator parallelism changes up to this magnitude are ignored
+    /// *while the job keeps up with its target rate* (noise suppression,
+    /// §4.2.2). Changes are never suppressed when the target is missed.
+    pub min_change: usize,
+    /// Hard cap on the number of scaling actions; `None` for unlimited.
+    /// §4.2.3 relies on this to guarantee convergence under skew.
+    pub max_decisions: Option<u32>,
+    /// Roll back to the previous configuration if the achieved source-rate
+    /// ratio degrades by more than `degradation_tolerance` after a deploy.
+    pub rollback_on_degradation: bool,
+    /// Fractional degradation of the achieved ratio that triggers rollback.
+    pub degradation_tolerance: f64,
+    /// Underlying policy knobs (min/max parallelism, source scaling).
+    pub policy: PolicyConfig,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            policy_interval_ns: 10_000_000_000, // 10 s, the Flink setting in §5.3
+            warmup_intervals: 0,
+            activation_intervals: 1,
+            activation_combine: ActivationCombine::Median,
+            target_rate_ratio: 1.0,
+            ratio_tolerance: 0.02,
+            min_change: 2,
+            max_decisions: None,
+            rollback_on_degradation: true,
+            degradation_tolerance: 0.1,
+            policy: PolicyConfig::default(),
+        }
+    }
+}
+
+/// One entry of the manager's decision log, for observability and tests.
+#[derive(Debug, Clone)]
+pub struct DecisionRecord {
+    /// Time of the evaluation in nanoseconds.
+    pub at_ns: u64,
+    /// The plan the policy produced (before activation combining), if it
+    /// produced one.
+    pub plan: Option<Deployment>,
+    /// Achieved/offered source-rate ratio at evaluation time.
+    pub achieved_ratio: Option<f64>,
+    /// Requirement boost in effect for this evaluation.
+    pub boost: f64,
+    /// Whether a scaling command was issued this interval.
+    pub acted: bool,
+}
+
+/// The DS2 Scaling Manager: a [`ScalingController`] combining the policy of
+/// §3.2 with the deployment pragmatics of §4.2.
+#[derive(Debug)]
+pub struct ScalingManager {
+    graph: LogicalGraph,
+    config: ManagerConfig,
+    warmup_remaining: u32,
+    pending: Vec<Deployment>,
+    decisions_made: u32,
+    awaiting_deploy: bool,
+    /// Deployment active before the most recent rescale, for rollback.
+    previous_deployment: Option<Deployment>,
+    /// Achieved ratio observed before the most recent rescale.
+    pre_deploy_ratio: Option<f64>,
+    /// Set after a rollback so the manager does not immediately re-propose
+    /// the configuration it just rolled back from.
+    rolled_back_from: Option<Deployment>,
+    history: Vec<DecisionRecord>,
+    consecutive_stable: u32,
+}
+
+impl ScalingManager {
+    /// Creates a manager for `graph` with the given configuration.
+    pub fn new(graph: LogicalGraph, config: ManagerConfig) -> Self {
+        let warmup = config.warmup_intervals;
+        Self {
+            graph,
+            config,
+            warmup_remaining: warmup,
+            pending: Vec::new(),
+            decisions_made: 0,
+            awaiting_deploy: false,
+            previous_deployment: None,
+            pre_deploy_ratio: None,
+            rolled_back_from: None,
+            history: Vec::new(),
+            consecutive_stable: 0,
+        }
+    }
+
+    /// Creates a manager with default configuration.
+    pub fn with_defaults(graph: LogicalGraph) -> Self {
+        Self::new(graph, ManagerConfig::default())
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// Decision log (one entry per `on_metrics` call that got past warm-up).
+    pub fn history(&self) -> &[DecisionRecord] {
+        &self.history
+    }
+
+    /// Number of scaling commands issued so far.
+    pub fn decisions_made(&self) -> u32 {
+        self.decisions_made
+    }
+
+    /// `true` once the policy has proposed the current deployment (or a
+    /// change within `min_change`) for `activation_intervals` consecutive
+    /// evaluations — the convergence criterion of §5.4.
+    pub fn is_converged(&self) -> bool {
+        self.consecutive_stable >= self.config.activation_intervals.max(1)
+    }
+
+    /// Minimum achieved/offered ratio across sources, from instrumentation.
+    ///
+    /// Clamped to 1.0: a window can measure above the offered rate when the
+    /// source drains a durable backlog or spans a rate change, and treating
+    /// that as "200% achieved" would poison degradation detection.
+    fn achieved_ratio(&self, snapshot: &MetricsSnapshot) -> Option<f64> {
+        let mut min_ratio: Option<f64> = None;
+        for &src in self.graph.sources() {
+            let offered = *snapshot.source_rates.get(&src)?;
+            if offered <= 0.0 {
+                continue;
+            }
+            let achieved = snapshot.observed_source_rate(src)?;
+            let r = (achieved / offered).min(1.0);
+            min_ratio = Some(min_ratio.map_or(r, |m: f64| m.min(r)));
+        }
+        min_ratio
+    }
+
+    /// Combines pending decisions per `activation_combine`.
+    fn combine_pending(&self) -> Deployment {
+        debug_assert!(!self.pending.is_empty());
+        let mut combined: BTreeMap<OperatorId, usize> = BTreeMap::new();
+        for op in self.graph.operators() {
+            let mut values: Vec<usize> = self.pending.iter().map(|d| d.parallelism(op)).collect();
+            values.sort_unstable();
+            let v = match self.config.activation_combine {
+                ActivationCombine::Max => *values.last().expect("non-empty"),
+                // Upper median: for an even count prefer the larger value,
+                // erring towards keeping up rather than under-provisioning.
+                ActivationCombine::Median => values[values.len() / 2],
+            };
+            combined.insert(op, v);
+        }
+        Deployment::from_map(combined)
+    }
+}
+
+impl ScalingController for ScalingManager {
+    fn name(&self) -> &str {
+        "ds2"
+    }
+
+    fn on_metrics(
+        &mut self,
+        now_ns: u64,
+        snapshot: &MetricsSnapshot,
+        current: &Deployment,
+    ) -> ControllerVerdict {
+        if self.awaiting_deploy {
+            return ControllerVerdict::NoAction;
+        }
+        if self.warmup_remaining > 0 {
+            self.warmup_remaining -= 1;
+            return ControllerVerdict::NoAction;
+        }
+
+        let achieved_ratio = self.achieved_ratio(snapshot);
+
+        // Rollback check (§4.2.2): performance degraded after the last
+        // deploy — return to the previous configuration.
+        if self.config.rollback_on_degradation {
+            if let (Some(prev), Some(pre), Some(post)) = (
+                self.previous_deployment.clone(),
+                self.pre_deploy_ratio,
+                achieved_ratio,
+            ) {
+                if post < pre * (1.0 - self.config.degradation_tolerance) && prev != *current {
+                    self.history.push(DecisionRecord {
+                        at_ns: now_ns,
+                        plan: Some(prev.clone()),
+                        achieved_ratio,
+                        boost: 1.0,
+                        acted: true,
+                    });
+                    self.rolled_back_from = Some(current.clone());
+                    self.previous_deployment = None;
+                    self.pre_deploy_ratio = None;
+                    self.pending.clear();
+                    self.awaiting_deploy = true;
+                    return ControllerVerdict::Rescale(prev);
+                }
+            }
+        }
+        // A deploy that did not degrade performance clears rollback state.
+        self.previous_deployment = None;
+
+        // Evaluate the policy, first without boost.
+        let base_policy = Ds2Policy::with_config(PolicyConfig {
+            requirement_boost: 1.0,
+            ..self.config.policy.clone()
+        });
+        let mut output = match base_policy.evaluate(&self.graph, snapshot, current) {
+            Ok(out) => out,
+            Err(_) => {
+                // Rates undefined this interval (e.g. an operator saw no
+                // input yet): defer, as warm-up would.
+                self.history.push(DecisionRecord {
+                    at_ns: now_ns,
+                    plan: None,
+                    achieved_ratio,
+                    boost: 1.0,
+                    acted: false,
+                });
+                return ControllerVerdict::NoAction;
+            }
+        };
+        let mut boost = 1.0;
+
+        // Target-rate-ratio correction (§4.2.1): the policy sees no need to
+        // scale, yet the achieved source rate falls short of the target —
+        // overheads invisible to instrumentation are consuming capacity.
+        // Estimate the extra resources from the achieved/target ratio.
+        if let Some(ratio) = achieved_ratio {
+            let threshold = self.config.target_rate_ratio - self.config.ratio_tolerance;
+            let no_change = output.plan.max_delta(current) == 0;
+            if no_change && ratio < threshold && ratio > 0.0 {
+                boost = (self.config.target_rate_ratio / ratio).min(4.0);
+                let boosted = Ds2Policy::with_config(PolicyConfig {
+                    requirement_boost: boost,
+                    ..self.config.policy.clone()
+                });
+                if let Ok(out) = boosted.evaluate(&self.graph, snapshot, current) {
+                    output = out;
+                }
+            }
+        }
+
+        let plan = output.plan;
+        self.pending.push(plan.clone());
+        if self.pending.len() > self.config.activation_intervals.max(1) as usize {
+            self.pending.remove(0);
+        }
+
+        let keeping_up = achieved_ratio.map_or(false, |r| {
+            r >= self.config.target_rate_ratio - self.config.ratio_tolerance
+        });
+
+        let mut acted = false;
+        let mut verdict = ControllerVerdict::NoAction;
+        if self.pending.len() == self.config.activation_intervals.max(1) as usize {
+            let combined = self.combine_pending();
+            let delta = combined.max_delta(current);
+            let significant = delta > self.config.min_change || (!keeping_up && delta > 0);
+            let budget_ok = self
+                .config
+                .max_decisions
+                .map_or(true, |max| self.decisions_made < max);
+            let not_rolled_back = self.rolled_back_from.as_ref() != Some(&combined);
+            if significant && budget_ok && not_rolled_back {
+                self.previous_deployment = Some(current.clone());
+                self.pre_deploy_ratio = achieved_ratio;
+                self.awaiting_deploy = true;
+                self.pending.clear();
+                self.consecutive_stable = 0;
+                acted = true;
+                verdict = ControllerVerdict::Rescale(combined);
+            } else {
+                self.consecutive_stable += 1;
+            }
+        }
+
+        self.history.push(DecisionRecord {
+            at_ns: now_ns,
+            plan: Some(plan),
+            achieved_ratio,
+            boost,
+            acted,
+        });
+        verdict
+    }
+
+    fn on_deployed(&mut self, _now_ns: u64, _deployment: &Deployment) {
+        self.awaiting_deploy = false;
+        self.warmup_remaining = self.config.warmup_intervals;
+        self.decisions_made += 1;
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::rates::InstanceMetrics;
+
+    fn inst(capacity: f64, selectivity: f64, util: f64) -> InstanceMetrics {
+        let window_ns = 1_000_000_000u64;
+        let useful_ns = (window_ns as f64 * util) as u64;
+        InstanceMetrics {
+            records_in: (capacity * util) as u64,
+            records_out: (capacity * selectivity * util) as u64,
+            useful_ns,
+            window_ns,
+            ..Default::default()
+        }
+    }
+
+    fn wordcount() -> (LogicalGraph, OperatorId, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("source");
+        let f = b.operator("flat_map");
+        let c = b.operator("count");
+        b.connect(s, f);
+        b.connect(f, c);
+        (b.build().unwrap(), s, f, c)
+    }
+
+    /// Snapshot where flat_map (cap 100/s/inst, sel 2) and count (cap
+    /// 100/s/inst) face a 400/s source; the job keeps up iff parallelism
+    /// suffices.
+    fn snapshot(
+        graph_ops: (OperatorId, OperatorId, OperatorId),
+        current: &Deployment,
+        achieved_frac: f64,
+    ) -> MetricsSnapshot {
+        let (s, f, c) = graph_ops;
+        let offered = 400.0;
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, offered);
+        // The source must *observe* `offered * achieved_frac` output over the
+        // window: with utilization 0.5 its true capacity is twice that.
+        let out_per_inst = offered * achieved_frac / current.parallelism(s) as f64;
+        snap.insert_instances(
+            s,
+            vec![inst(out_per_inst * 2.0, 1.0, 0.5); current.parallelism(s)],
+        );
+        let fp = current.parallelism(f);
+        let f_in = offered * achieved_frac / fp as f64;
+        snap.insert_instances(f, vec![inst(100.0, 2.0, (f_in / 100.0).min(1.0)); fp]);
+        let cp = current.parallelism(c);
+        let c_in = 2.0 * offered * achieved_frac / cp as f64;
+        snap.insert_instances(c, vec![inst(100.0, 1.0, (c_in / 100.0).min(1.0)); cp]);
+        snap
+    }
+
+    #[test]
+    fn scales_up_underprovisioned_job_in_one_decision() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(g, ManagerConfig::default());
+        let current = Deployment::uniform(&mgr.graph, 1);
+        // Under-provisioned: only 25% of the offered rate achieved.
+        let snap = snapshot((s, f, c), &current, 0.25);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("must rescale");
+        assert_eq!(plan.parallelism(f), 4); // 400 / 100
+        assert_eq!(plan.parallelism(c), 8); // 800 / 100
+    }
+
+    #[test]
+    fn warmup_defers_decisions() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                warmup_intervals: 2,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.25);
+        assert!(!mgr.on_metrics(0, &snap, &current).is_rescale());
+        assert!(!mgr.on_metrics(1, &snap, &current).is_rescale());
+        assert!(mgr.on_metrics(2, &snap, &current).is_rescale());
+    }
+
+    #[test]
+    fn activation_combines_median() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                activation_intervals: 3,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.25);
+        assert!(!mgr.on_metrics(0, &snap, &current).is_rescale());
+        assert!(!mgr.on_metrics(1, &snap, &current).is_rescale());
+        let v = mgr.on_metrics(2, &snap, &current);
+        assert!(v.is_rescale(), "third interval completes activation");
+    }
+
+    #[test]
+    fn suppresses_minor_change_when_keeping_up() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                min_change: 2,
+                ..Default::default()
+            },
+        );
+        // Current deployment: 5 flat_map (optimal 4), achieving full rate.
+        let mut current = Deployment::uniform(&mgr.graph, 1);
+        current.set(f, 5);
+        current.set(c, 8);
+        let snap = snapshot((s, f, c), &current, 1.0);
+        let v = mgr.on_metrics(0, &snap, &current);
+        assert!(
+            !v.is_rescale(),
+            "a -1 change while keeping up must be suppressed"
+        );
+    }
+
+    #[test]
+    fn applies_minor_change_when_missing_target() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                min_change: 2,
+                ..Default::default()
+            },
+        );
+        // 3 flat_map instances (need 4), 7 count (need 8): deltas of 1.
+        let mut current = Deployment::uniform(&mgr.graph, 1);
+        current.set(f, 3);
+        current.set(c, 7);
+        let snap = snapshot((s, f, c), &current, 0.75);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("must act when target is missed");
+        assert_eq!(plan.parallelism(f), 4);
+    }
+
+    #[test]
+    fn boost_kicks_in_when_stuck_below_target() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(g, ManagerConfig::default());
+        // The policy's unboosted answer equals the current deployment, but
+        // only 80% of the target is achieved (uncaptured overheads).
+        let mut current = Deployment::uniform(&mgr.graph, 1);
+        current.set(f, 4);
+        current.set(c, 8);
+        // Craft a snapshot where capacity*parallelism exactly matches target
+        // (so unboosted plan == current) but achieved is 0.8.
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, 400.0);
+        // Observed source output must be 320/s (=0.8 of 400): capacity 640
+        // at 50% utilization.
+        snap.insert_instances(s, vec![inst(640.0, 1.0, 0.5)]);
+        snap.insert_instances(f, vec![inst(100.0, 2.0, 0.8); 4]);
+        snap.insert_instances(c, vec![inst(100.0, 1.0, 0.8); 8]);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("boost must trigger a rescale");
+        // Boost = 1/0.8 = 1.25: flat_map 400*1.25/100 = 5, count 10.
+        assert_eq!(plan.parallelism(f), 5);
+        assert_eq!(plan.parallelism(c), 10);
+        let last = mgr.history().last().unwrap();
+        assert!(last.boost > 1.2 && last.boost < 1.3);
+    }
+
+    #[test]
+    fn max_decisions_limits_actions() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                max_decisions: Some(1),
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.25);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().unwrap().clone();
+        mgr.on_deployed(1, &plan);
+        // Still under-provisioned per the (stale) snapshot, but the budget
+        // is exhausted: no further action.
+        let v = mgr.on_metrics(2, &snap, &current);
+        assert!(!v.is_rescale());
+    }
+
+    #[test]
+    fn rollback_on_degradation() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                rollback_on_degradation: true,
+                degradation_tolerance: 0.1,
+                min_change: 0,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.5);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().unwrap().clone();
+        mgr.on_deployed(1, &plan);
+        // After the deploy, achieved collapses to 20%: roll back.
+        let snap2 = snapshot((s, f, c), &plan, 0.2);
+        let v2 = mgr.on_metrics(2, &snap2, &plan);
+        assert_eq!(v2.rescale(), Some(&current));
+    }
+
+    #[test]
+    fn convergence_counter() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                activation_intervals: 2,
+                ..Default::default()
+            },
+        );
+        let mut current = Deployment::uniform(&mgr.graph, 1);
+        current.set(f, 4);
+        current.set(c, 8);
+        let snap = snapshot((s, f, c), &current, 1.0);
+        assert!(!mgr.is_converged());
+        mgr.on_metrics(0, &snap, &current);
+        mgr.on_metrics(1, &snap, &current);
+        mgr.on_metrics(2, &snap, &current);
+        assert!(mgr.is_converged());
+    }
+
+    #[test]
+    fn undefined_rates_defer() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(g, ManagerConfig::default());
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, 400.0);
+        snap.insert_instances(s, vec![inst(400.0, 1.0, 0.5)]);
+        // flat_map and count have windows but no useful time yet.
+        snap.insert_instances(
+            f,
+            vec![InstanceMetrics {
+                window_ns: 1_000_000_000,
+                ..Default::default()
+            }],
+        );
+        snap.insert_instances(
+            c,
+            vec![InstanceMetrics {
+                window_ns: 1_000_000_000,
+                ..Default::default()
+            }],
+        );
+        let v = mgr.on_metrics(0, &snap, &current);
+        assert!(!v.is_rescale());
+        assert!(mgr.history().last().unwrap().plan.is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Metrics snapshots: the policy's view of one observation window.
+
+use std::collections::BTreeMap;
+
+use crate::deployment::Deployment;
+use crate::error::Ds2Error;
+use crate::graph::{LogicalGraph, OperatorId};
+use crate::rates::{InstanceMetrics, OperatorMetrics};
+
+/// Everything DS2 needs to evaluate one scaling decision (§3.2):
+/// per-instance true-rate counters for every operator, plus the externally
+/// monitored output rate of each source.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-operator instrumentation for the window.
+    pub operators: BTreeMap<OperatorId, OperatorMetrics>,
+    /// Offered output rate of each source in records/second (`λsrc`).
+    ///
+    /// The paper monitors these outside the reference system: they are the
+    /// rates the application data sources *produce*, not the (possibly
+    /// backpressure-throttled) rates the dataflow achieves.
+    pub source_rates: BTreeMap<OperatorId, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts metrics for one operator.
+    pub fn insert_operator(&mut self, op: OperatorId, metrics: OperatorMetrics) {
+        self.operators.insert(op, metrics);
+    }
+
+    /// Inserts per-instance metrics for one operator.
+    pub fn insert_instances(&mut self, op: OperatorId, instances: Vec<InstanceMetrics>) {
+        self.operators.insert(op, OperatorMetrics::new(instances));
+    }
+
+    /// Records the offered rate of a source in records/second.
+    pub fn set_source_rate(&mut self, op: OperatorId, rate: f64) {
+        self.source_rates.insert(op, rate);
+    }
+
+    /// Metrics for one operator, if reported.
+    pub fn operator(&self, op: OperatorId) -> Option<&OperatorMetrics> {
+        self.operators.get(&op)
+    }
+
+    /// The observed (achieved) aggregate output rate of a source, from its
+    /// instrumentation counters. Under backpressure this is lower than the
+    /// offered rate in [`MetricsSnapshot::source_rates`].
+    pub fn observed_source_rate(&self, op: OperatorId) -> Option<f64> {
+        self.operators
+            .get(&op)
+            .and_then(|m| m.aggregate_observed_output_rate())
+    }
+
+    /// Validates the snapshot against a graph and deployment: every operator
+    /// must report, instance counts must match deployed parallelism, every
+    /// source must have an offered rate, and all counters must satisfy the
+    /// `Wu <= W` model invariant.
+    pub fn validate(&self, graph: &LogicalGraph, deployment: &Deployment) -> Result<(), Ds2Error> {
+        for op in graph.operators() {
+            let metrics = self
+                .operators
+                .get(&op)
+                .ok_or(Ds2Error::MissingMetrics(op))?;
+            let p = deployment.parallelism(op);
+            if metrics.parallelism() != p {
+                return Err(Ds2Error::InvalidMetrics(format!(
+                    "{op} reports {} instances but {} are deployed",
+                    metrics.parallelism(),
+                    p
+                )));
+            }
+            for inst in &metrics.instances {
+                inst.validate()?;
+            }
+        }
+        for &src in graph.sources() {
+            let rate = self
+                .source_rates
+                .get(&src)
+                .ok_or(Ds2Error::MissingMetrics(src))?;
+            if !rate.is_finite() || *rate < 0.0 {
+                return Err(Ds2Error::InvalidMetrics(format!(
+                    "source {src} has invalid offered rate {rate}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn inst(records_in: u64, records_out: u64, useful_ms: u64, window_ms: u64) -> InstanceMetrics {
+        InstanceMetrics {
+            records_in,
+            records_out,
+            useful_ns: useful_ms * 1_000_000,
+            window_ns: window_ms * 1_000_000,
+            ..Default::default()
+        }
+    }
+
+    fn setup() -> (LogicalGraph, Deployment, MetricsSnapshot) {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let d = Deployment::uniform(&g, 1);
+        let mut snap = MetricsSnapshot::new();
+        snap.insert_instances(s, vec![inst(0, 100, 100, 1000)]);
+        snap.insert_instances(o, vec![inst(100, 100, 100, 1000)]);
+        snap.set_source_rate(s, 100.0);
+        (g, d, snap)
+    }
+
+    #[test]
+    fn valid_snapshot_passes() {
+        let (g, d, snap) = setup();
+        assert!(snap.validate(&g, &d).is_ok());
+    }
+
+    #[test]
+    fn missing_operator_fails() {
+        let (g, d, mut snap) = setup();
+        snap.operators.remove(&OperatorId(1));
+        assert!(matches!(
+            snap.validate(&g, &d),
+            Err(Ds2Error::MissingMetrics(OperatorId(1)))
+        ));
+    }
+
+    #[test]
+    fn parallelism_mismatch_fails() {
+        let (g, mut d, snap) = setup();
+        d.set(OperatorId(1), 2);
+        assert!(snap.validate(&g, &d).is_err());
+    }
+
+    #[test]
+    fn missing_source_rate_fails() {
+        let (g, d, mut snap) = setup();
+        snap.source_rates.clear();
+        assert!(snap.validate(&g, &d).is_err());
+    }
+
+    #[test]
+    fn non_finite_source_rate_fails() {
+        let (g, d, mut snap) = setup();
+        snap.set_source_rate(OperatorId(0), f64::NAN);
+        assert!(snap.validate(&g, &d).is_err());
+        snap.set_source_rate(OperatorId(0), -1.0);
+        assert!(snap.validate(&g, &d).is_err());
+    }
+
+    #[test]
+    fn observed_source_rate_reads_counters() {
+        let (_, _, snap) = setup();
+        assert_eq!(snap.observed_source_rate(OperatorId(0)), Some(100.0));
+        assert_eq!(snap.observed_source_rate(OperatorId(9)), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-instance instrumentation counters (paper §4.1).
+//!
+//! Each parallel thread executing operator logic maintains local counters
+//! for records read, records produced, (de)serialization duration,
+//! processing duration, and waiting for input and output buffers. The
+//! counters here are lock-free ([`SharedCounters`] uses relaxed atomics) so
+//! the instrumentation cost stays in the nanosecond range — the overhead the
+//! paper measures in Figure 10.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ds2_core::rates::InstanceMetrics;
+
+/// Breakdown of useful time into the three §3.2 activities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsefulTime {
+    /// Time spent deserializing input records, in nanoseconds.
+    pub deserialization_ns: u64,
+    /// Time spent in operator logic, in nanoseconds.
+    pub processing_ns: u64,
+    /// Time spent serializing output records, in nanoseconds.
+    pub serialization_ns: u64,
+}
+
+impl UsefulTime {
+    /// Total useful nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.deserialization_ns + self.processing_ns + self.serialization_ns
+    }
+}
+
+/// Plain (single-threaded) instrumentation counters for one instance.
+///
+/// Used where the instance owns its counters (the simulator); the threaded
+/// runtime uses [`SharedCounters`] instead.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceCounters {
+    records_in: u64,
+    records_out: u64,
+    useful: UsefulTime,
+    wait_input_ns: u64,
+    wait_output_ns: u64,
+    window_start_ns: u64,
+}
+
+impl InstanceCounters {
+    /// Creates counters with the window starting at `now_ns`.
+    pub fn new(now_ns: u64) -> Self {
+        Self {
+            window_start_ns: now_ns,
+            ..Default::default()
+        }
+    }
+
+    /// Records `n` records pulled from the input.
+    pub fn add_records_in(&mut self, n: u64) {
+        self.records_in += n;
+    }
+
+    /// Records `n` records pushed to the output.
+    pub fn add_records_out(&mut self, n: u64) {
+        self.records_out += n;
+    }
+
+    /// Adds deserialization time.
+    pub fn add_deserialization(&mut self, ns: u64) {
+        self.useful.deserialization_ns += ns;
+    }
+
+    /// Adds processing time.
+    pub fn add_processing(&mut self, ns: u64) {
+        self.useful.processing_ns += ns;
+    }
+
+    /// Adds serialization time.
+    pub fn add_serialization(&mut self, ns: u64) {
+        self.useful.serialization_ns += ns;
+    }
+
+    /// Adds time spent waiting on an empty input.
+    pub fn add_wait_input(&mut self, ns: u64) {
+        self.wait_input_ns += ns;
+    }
+
+    /// Adds time spent waiting on a full output.
+    pub fn add_wait_output(&mut self, ns: u64) {
+        self.wait_output_ns += ns;
+    }
+
+    /// Current useful-time breakdown.
+    pub fn useful(&self) -> UsefulTime {
+        self.useful
+    }
+
+    /// Closes the window at `now_ns`, returning the model-facing metrics and
+    /// resetting the counters for the next window.
+    pub fn take_window(&mut self, now_ns: u64) -> InstanceMetrics {
+        let window_ns = now_ns.saturating_sub(self.window_start_ns);
+        let m = InstanceMetrics {
+            records_in: self.records_in,
+            records_out: self.records_out,
+            useful_ns: self.useful.total_ns().min(window_ns),
+            window_ns,
+            wait_input_ns: self.wait_input_ns,
+            wait_output_ns: self.wait_output_ns,
+        };
+        *self = Self::new(now_ns);
+        m
+    }
+}
+
+/// Lock-free counters shareable between an operator thread (writer) and the
+/// metrics manager (reader).
+///
+/// All operations use `Ordering::Relaxed`: the counters are monotonic sums
+/// whose cross-field consistency is only needed at window granularity, and
+/// a window boundary that splits a single record's accounting across two
+/// windows is harmless (the sums still converge).
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    records_in: AtomicU64,
+    records_out: AtomicU64,
+    deserialization_ns: AtomicU64,
+    processing_ns: AtomicU64,
+    serialization_ns: AtomicU64,
+    wait_input_ns: AtomicU64,
+    wait_output_ns: AtomicU64,
+}
+
+impl SharedCounters {
+    /// Creates a zeroed, shareable counter set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records `n` records pulled from the input.
+    #[inline]
+    pub fn add_records_in(&self, n: u64) {
+        self.records_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` records pushed to the output.
+    #[inline]
+    pub fn add_records_out(&self, n: u64) {
+        self.records_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds deserialization time.
+    #[inline]
+    pub fn add_deserialization(&self, ns: u64) {
+        self.deserialization_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds processing time.
+    #[inline]
+    pub fn add_processing(&self, ns: u64) {
+        self.processing_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds serialization time.
+    #[inline]
+    pub fn add_serialization(&self, ns: u64) {
+        self.serialization_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds time spent waiting on an empty input.
+    #[inline]
+    pub fn add_wait_input(&self, ns: u64) {
+        self.wait_input_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds time spent waiting on a full output.
+    #[inline]
+    pub fn add_wait_output(&self, ns: u64) {
+        self.wait_output_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Reads the cumulative totals (does not reset).
+    pub fn totals(&self) -> CounterTotals {
+        CounterTotals {
+            records_in: self.records_in.load(Ordering::Relaxed),
+            records_out: self.records_out.load(Ordering::Relaxed),
+            useful_ns: self.deserialization_ns.load(Ordering::Relaxed)
+                + self.processing_ns.load(Ordering::Relaxed)
+                + self.serialization_ns.load(Ordering::Relaxed),
+            wait_input_ns: self.wait_input_ns.load(Ordering::Relaxed),
+            wait_output_ns: self.wait_output_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of [`SharedCounters`] cumulative totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterTotals {
+    /// Cumulative records pulled from the input.
+    pub records_in: u64,
+    /// Cumulative records pushed to the output.
+    pub records_out: u64,
+    /// Cumulative useful nanoseconds.
+    pub useful_ns: u64,
+    /// Cumulative nanoseconds waiting on input.
+    pub wait_input_ns: u64,
+    /// Cumulative nanoseconds waiting on output.
+    pub wait_output_ns: u64,
+}
+
+impl CounterTotals {
+    /// Metrics for the window between an earlier reading `start` (taken at
+    /// `start_ns`) and this reading (taken at `now_ns`).
+    pub fn window_since(
+        &self,
+        start: &CounterTotals,
+        start_ns: u64,
+        now_ns: u64,
+    ) -> InstanceMetrics {
+        let window_ns = now_ns.saturating_sub(start_ns);
+        InstanceMetrics {
+            records_in: self.records_in.saturating_sub(start.records_in),
+            records_out: self.records_out.saturating_sub(start.records_out),
+            useful_ns: self
+                .useful_ns
+                .saturating_sub(start.useful_ns)
+                .min(window_ns),
+            window_ns,
+            wait_input_ns: self.wait_input_ns.saturating_sub(start.wait_input_ns),
+            wait_output_ns: self.wait_output_ns.saturating_sub(start.wait_output_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn useful_time_totals() {
+        let u = UsefulTime {
+            deserialization_ns: 10,
+            processing_ns: 20,
+            serialization_ns: 30,
+        };
+        assert_eq!(u.total_ns(), 60);
+    }
+
+    #[test]
+    fn instance_counters_window_roundtrip() {
+        let mut c = InstanceCounters::new(1_000);
+        c.add_records_in(10);
+        c.add_records_out(20);
+        c.add_deserialization(100);
+        c.add_processing(200);
+        c.add_serialization(50);
+        c.add_wait_input(400);
+        let m = c.take_window(2_000);
+        assert_eq!(m.records_in, 10);
+        assert_eq!(m.records_out, 20);
+        assert_eq!(m.useful_ns, 350);
+        assert_eq!(m.window_ns, 1_000);
+        assert_eq!(m.wait_input_ns, 400);
+        // Counters reset for the next window.
+        let m2 = c.take_window(3_000);
+        assert_eq!(m2.records_in, 0);
+        assert_eq!(m2.useful_ns, 0);
+        assert_eq!(m2.window_ns, 1_000);
+    }
+
+    #[test]
+    fn take_window_clamps_useful_to_window() {
+        // A window boundary race can make useful time appear to exceed the
+        // window; the counters clamp to keep the model invariant Wu <= W.
+        let mut c = InstanceCounters::new(0);
+        c.add_processing(5_000);
+        let m = c.take_window(1_000);
+        assert_eq!(m.useful_ns, 1_000);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_counters_accumulate() {
+        let c = SharedCounters::new();
+        c.add_records_in(5);
+        c.add_records_out(7);
+        c.add_deserialization(10);
+        c.add_processing(20);
+        c.add_serialization(30);
+        c.add_wait_input(100);
+        c.add_wait_output(200);
+        let t = c.totals();
+        assert_eq!(t.records_in, 5);
+        assert_eq!(t.records_out, 7);
+        assert_eq!(t.useful_ns, 60);
+        assert_eq!(t.wait_input_ns, 100);
+        assert_eq!(t.wait_output_ns, 200);
+    }
+
+    #[test]
+    fn window_since_diffs_totals() {
+        let c = SharedCounters::new();
+        c.add_records_in(100);
+        c.add_processing(1_000);
+        let start = c.totals();
+        c.add_records_in(50);
+        c.add_processing(500);
+        c.add_wait_input(300);
+        let end = c.totals();
+        let m = end.window_since(&start, 10_000, 12_000);
+        assert_eq!(m.records_in, 50);
+        assert_eq!(m.useful_ns, 500);
+        assert_eq!(m.wait_input_ns, 300);
+        assert_eq!(m.window_ns, 2_000);
+    }
+
+    #[test]
+    fn shared_counters_concurrent_writers() {
+        let c = SharedCounters::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add_records_in(1);
+                        c.add_processing(3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let t = c.totals();
+        assert_eq!(t.records_in, 40_000);
+        assert_eq!(t.useful_ns, 120_000);
+    }
+}

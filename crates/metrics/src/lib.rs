@@ -1,0 +1,29 @@
+//! # ds2-metrics — instrumentation substrate for DS2 (paper §4.1)
+//!
+//! DS2 requires the stream processor to periodically report, per operator
+//! instance: records processed, records produced, and useful time
+//! (serialization + deserialization + processing) or, equivalently, waiting
+//! time. This crate provides that machinery:
+//!
+//! * [`counters`] — per-instance local counters, both single-threaded
+//!   ([`counters::InstanceCounters`]) and lock-free shared
+//!   ([`counters::SharedCounters`]) variants;
+//! * [`manager`] — the `MetricsManager` that gathers, aggregates and
+//!   reports policy metrics in configurable intervals;
+//! * [`trace`] — Timely-style raw event traces with the paper's
+//!   "useful scheduling events only" filtering;
+//! * [`repo`] — the metrics repository the Scaling Manager monitors
+//!   (paper Fig. 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod manager;
+pub mod repo;
+pub mod trace;
+
+pub use counters::{CounterTotals, InstanceCounters, SharedCounters, UsefulTime};
+pub use manager::{MetricsManager, MetricsReporter, Report};
+pub use repo::{MetricsRepository, SnapshotEntry};
+pub use trace::{TraceAggregator, TraceEvent, TraceStats, WorkerId};

@@ -1,0 +1,236 @@
+//! The `MetricsManager` (paper §4.1): gathers, aggregates, and reports
+//! policy metrics.
+//!
+//! Operator instances send [`Report`]s through a lightweight channel — in
+//! Flink terms, a source instance reports whenever an output buffer fills
+//! and a regular instance whenever it finishes an input buffer. The manager
+//! merges reports per instance and closes a [`MetricsSnapshot`] once per
+//! policy interval ("reports them to the outside world in configurable
+//! intervals").
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ds2_core::graph::OperatorId;
+use ds2_core::rates::InstanceMetrics;
+use ds2_core::snapshot::MetricsSnapshot;
+
+/// One instrumentation report from an operator instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// The logical operator the instance belongs to.
+    pub operator: OperatorId,
+    /// Index of the instance within the operator (0-based).
+    pub instance: usize,
+    /// Counters accumulated since the instance's previous report.
+    pub metrics: InstanceMetrics,
+}
+
+/// Cloneable handle operator instances use to report metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsReporter {
+    tx: Sender<Report>,
+}
+
+impl MetricsReporter {
+    /// Sends a report; silently drops it if the manager is gone (an
+    /// instance must never crash because monitoring shut down first).
+    pub fn report(&self, report: Report) {
+        let _ = self.tx.send(report);
+    }
+
+    /// Convenience wrapper building the [`Report`] in place.
+    pub fn report_window(&self, operator: OperatorId, instance: usize, metrics: InstanceMetrics) {
+        self.report(Report {
+            operator,
+            instance,
+            metrics,
+        });
+    }
+}
+
+/// Gathers reports from all instances and produces per-interval snapshots.
+#[derive(Debug)]
+pub struct MetricsManager {
+    tx: Sender<Report>,
+    rx: Receiver<Report>,
+    pending: BTreeMap<(OperatorId, usize), InstanceMetrics>,
+    source_rates: BTreeMap<OperatorId, f64>,
+    reports_received: u64,
+}
+
+impl Default for MetricsManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsManager {
+    /// Creates a manager with an open report channel.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Self {
+            tx,
+            rx,
+            pending: BTreeMap::new(),
+            source_rates: BTreeMap::new(),
+            reports_received: 0,
+        }
+    }
+
+    /// Creates a reporter handle for operator instances.
+    pub fn reporter(&self) -> MetricsReporter {
+        MetricsReporter {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Sets the externally monitored offered rate of a source (§3.2: source
+    /// rates come from outside the reference system).
+    pub fn set_source_rate(&mut self, op: OperatorId, rate: f64) {
+        self.source_rates.insert(op, rate);
+    }
+
+    /// Total reports received since construction.
+    pub fn reports_received(&self) -> u64 {
+        self.reports_received
+    }
+
+    /// Drains the channel, merging reports into the current interval.
+    pub fn drain(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(report) => {
+                    self.reports_received += 1;
+                    self.pending
+                        .entry((report.operator, report.instance))
+                        .and_modify(|m| m.merge(&report.metrics))
+                        .or_insert(report.metrics);
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Closes the current interval: drains outstanding reports, builds the
+    /// snapshot, and resets for the next interval.
+    ///
+    /// Instances are ordered by their reported index; gaps (an instance that
+    /// reported nothing) are filled with empty metrics so the snapshot's
+    /// parallelism matches the deployment.
+    pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+        self.drain();
+        let mut snapshot = MetricsSnapshot::new();
+        let mut per_op: BTreeMap<OperatorId, BTreeMap<usize, InstanceMetrics>> = BTreeMap::new();
+        for ((op, inst), m) in std::mem::take(&mut self.pending) {
+            per_op.entry(op).or_default().insert(inst, m);
+        }
+        for (op, by_idx) in per_op {
+            let max_idx = *by_idx.keys().next_back().expect("non-empty");
+            let mut instances = vec![InstanceMetrics::default(); max_idx + 1];
+            for (idx, m) in by_idx {
+                instances[idx] = m;
+            }
+            snapshot.insert_instances(op, instances);
+        }
+        for (&op, &rate) in &self.source_rates {
+            snapshot.set_source_rate(op, rate);
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(records_in: u64, useful_ns: u64) -> InstanceMetrics {
+        InstanceMetrics {
+            records_in,
+            records_out: records_in,
+            useful_ns,
+            window_ns: useful_ns * 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reports_are_merged_per_instance() {
+        let mut mgr = MetricsManager::new();
+        let rep = mgr.reporter();
+        let op = OperatorId(1);
+        rep.report_window(op, 0, metrics(10, 100));
+        rep.report_window(op, 0, metrics(20, 200));
+        rep.report_window(op, 1, metrics(5, 50));
+        let snap = mgr.collect_snapshot();
+        let om = snap.operator(op).unwrap();
+        assert_eq!(om.parallelism(), 2);
+        assert_eq!(om.instances[0].records_in, 30);
+        assert_eq!(om.instances[0].useful_ns, 300);
+        assert_eq!(om.instances[1].records_in, 5);
+        assert_eq!(mgr.reports_received(), 3);
+    }
+
+    #[test]
+    fn snapshot_resets_interval() {
+        let mut mgr = MetricsManager::new();
+        let rep = mgr.reporter();
+        rep.report_window(OperatorId(0), 0, metrics(10, 100));
+        let first = mgr.collect_snapshot();
+        assert!(first.operator(OperatorId(0)).is_some());
+        let second = mgr.collect_snapshot();
+        assert!(second.operator(OperatorId(0)).is_none());
+    }
+
+    #[test]
+    fn missing_instances_filled_with_empty() {
+        let mut mgr = MetricsManager::new();
+        let rep = mgr.reporter();
+        // Instance 2 reports, 0 and 1 are silent this interval.
+        rep.report_window(OperatorId(3), 2, metrics(7, 70));
+        let snap = mgr.collect_snapshot();
+        let om = snap.operator(OperatorId(3)).unwrap();
+        assert_eq!(om.parallelism(), 3);
+        assert_eq!(om.instances[0], InstanceMetrics::default());
+        assert_eq!(om.instances[2].records_in, 7);
+    }
+
+    #[test]
+    fn source_rates_propagate() {
+        let mut mgr = MetricsManager::new();
+        mgr.set_source_rate(OperatorId(0), 1234.5);
+        let snap = mgr.collect_snapshot();
+        assert_eq!(snap.source_rates[&OperatorId(0)], 1234.5);
+    }
+
+    #[test]
+    fn reporter_survives_manager_drop() {
+        let mgr = MetricsManager::new();
+        let rep = mgr.reporter();
+        drop(mgr);
+        // Must not panic.
+        rep.report_window(OperatorId(0), 0, metrics(1, 1));
+    }
+
+    #[test]
+    fn concurrent_reporters() {
+        let mut mgr = MetricsManager::new();
+        let handles: Vec<_> = (0..4usize)
+            .map(|i| {
+                let rep = mgr.reporter();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        rep.report_window(OperatorId(0), i, metrics(1, 10));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = mgr.collect_snapshot();
+        let om = snap.operator(OperatorId(0)).unwrap();
+        assert_eq!(om.parallelism(), 4);
+        assert_eq!(om.total_records_in(), 4000);
+    }
+}

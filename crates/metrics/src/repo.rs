@@ -1,0 +1,195 @@
+//! The metrics repository of the DS2 architecture (paper Fig. 5).
+//!
+//! Instrumented jobs periodically push snapshots into the repository; the
+//! Scaling Manager monitors it and invokes the policy when new metrics are
+//! available. The repository keeps a bounded history so the manager can
+//! aggregate several reporting intervals into one policy window.
+
+use std::collections::VecDeque;
+
+use ds2_core::snapshot::MetricsSnapshot;
+
+/// A timestamped snapshot entry.
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// Time the snapshot was closed, in nanoseconds.
+    pub at_ns: u64,
+    /// The snapshot itself.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Bounded history of metric snapshots.
+#[derive(Debug)]
+pub struct MetricsRepository {
+    entries: VecDeque<SnapshotEntry>,
+    capacity: usize,
+    total_pushed: u64,
+}
+
+impl MetricsRepository {
+    /// Creates a repository retaining up to `capacity` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "repository capacity must be positive");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            total_pushed: 0,
+        }
+    }
+
+    /// Pushes a snapshot, evicting the oldest when full.
+    pub fn push(&mut self, at_ns: u64, snapshot: MetricsSnapshot) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(SnapshotEntry { at_ns, snapshot });
+        self.total_pushed += 1;
+    }
+
+    /// Most recent snapshot, if any.
+    pub fn latest(&self) -> Option<&SnapshotEntry> {
+        self.entries.back()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no snapshot has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total snapshots ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Iterates over retained entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &SnapshotEntry> {
+        self.entries.iter()
+    }
+
+    /// Merges the most recent `n` snapshots into one window.
+    ///
+    /// Per-operator instance metrics are merged element-wise when the
+    /// operator kept the same parallelism across the merged snapshots;
+    /// if the parallelism changed mid-window (a rescale happened), only the
+    /// snapshots after the change are merged for that operator. Source rates
+    /// are taken from the newest snapshot. Returns `None` when empty.
+    pub fn merged_last(&self, n: usize) -> Option<MetricsSnapshot> {
+        if self.entries.is_empty() || n == 0 {
+            return None;
+        }
+        let take = n.min(self.entries.len());
+        let window: Vec<&SnapshotEntry> = self.entries.iter().rev().take(take).collect();
+        // `window[0]` is the newest.
+        let newest = &window[0].snapshot;
+        let mut merged = MetricsSnapshot::new();
+        for (&op, newest_metrics) in &newest.operators {
+            let p = newest_metrics.parallelism();
+            let mut acc = newest_metrics.clone();
+            for entry in window.iter().skip(1) {
+                match entry.snapshot.operator(op) {
+                    Some(older) if older.parallelism() == p => {
+                        for (dst, src) in acc.instances.iter_mut().zip(&older.instances) {
+                            dst.merge(src);
+                        }
+                    }
+                    // Parallelism changed (or operator missing): metrics
+                    // before the change describe a different physical plan.
+                    _ => break,
+                }
+            }
+            merged.insert_operator(op, acc);
+        }
+        for (&op, &rate) in &newest.source_rates {
+            merged.set_source_rate(op, rate);
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds2_core::graph::OperatorId;
+    use ds2_core::rates::InstanceMetrics;
+
+    fn snap(records: u64, p: usize) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.insert_instances(
+            OperatorId(0),
+            vec![
+                InstanceMetrics {
+                    records_in: records,
+                    useful_ns: 100,
+                    window_ns: 1000,
+                    ..Default::default()
+                };
+                p
+            ],
+        );
+        s.set_source_rate(OperatorId(0), records as f64);
+        s
+    }
+
+    #[test]
+    fn bounded_history_evicts_oldest() {
+        let mut repo = MetricsRepository::new(2);
+        repo.push(1, snap(1, 1));
+        repo.push(2, snap(2, 1));
+        repo.push(3, snap(3, 1));
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.total_pushed(), 3);
+        assert_eq!(repo.latest().unwrap().at_ns, 3);
+        assert_eq!(repo.iter().next().unwrap().at_ns, 2);
+    }
+
+    #[test]
+    fn merged_last_sums_counters() {
+        let mut repo = MetricsRepository::new(8);
+        repo.push(1, snap(10, 2));
+        repo.push(2, snap(20, 2));
+        repo.push(3, snap(30, 2));
+        let merged = repo.merged_last(2).unwrap();
+        let om = merged.operator(OperatorId(0)).unwrap();
+        assert_eq!(om.instances[0].records_in, 50); // 20 + 30
+        assert_eq!(om.instances[0].window_ns, 2000);
+        // Newest source rate wins.
+        assert_eq!(merged.source_rates[&OperatorId(0)], 30.0);
+    }
+
+    #[test]
+    fn merge_stops_at_parallelism_change() {
+        let mut repo = MetricsRepository::new(8);
+        repo.push(1, snap(10, 1)); // old parallelism
+        repo.push(2, snap(20, 2)); // rescaled
+        repo.push(3, snap(30, 2));
+        let merged = repo.merged_last(3).unwrap();
+        let om = merged.operator(OperatorId(0)).unwrap();
+        // Only the two p=2 snapshots merge.
+        assert_eq!(om.instances[0].records_in, 50);
+        assert_eq!(om.parallelism(), 2);
+    }
+
+    #[test]
+    fn merged_last_empty_is_none() {
+        let repo = MetricsRepository::new(2);
+        assert!(repo.merged_last(3).is_none());
+        let mut repo = MetricsRepository::new(2);
+        repo.push(1, snap(1, 1));
+        assert!(repo.merged_last(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MetricsRepository::new(0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Timely-style raw trace events and their aggregation (paper §4.1).
+//!
+//! Timely Dataflow does not block operators on input or output: workers
+//! continuously spin, scheduling every operator round-robin even when there
+//! is nothing to process. Its logging therefore emits raw *events*
+//! (operator scheduled, records handled) rather than counters. The paper
+//! modified Timely's logger to forward only the "useful" scheduling events —
+//! those in which the operator actually did work — because spinning events
+//! would otherwise saturate the metrics manager.
+//!
+//! [`TraceAggregator`] reproduces that pipeline: it consumes a stream of
+//! [`TraceEvent`]s and produces per-(operator, worker) [`InstanceMetrics`]
+//! windows, counting only useful schedules toward useful time.
+
+use std::collections::BTreeMap;
+
+use ds2_core::graph::OperatorId;
+use ds2_core::rates::InstanceMetrics;
+
+/// Identifier of a worker thread in a Timely-like runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub usize);
+
+/// A raw trace event emitted by an instrumented worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An operator activation began on a worker.
+    ScheduleStart {
+        /// Worker that scheduled the operator.
+        worker: WorkerId,
+        /// The scheduled operator.
+        operator: OperatorId,
+        /// Event timestamp in nanoseconds.
+        at_ns: u64,
+    },
+    /// The activation ended, having processed and produced some records.
+    ///
+    /// `records_in == 0 && records_out == 0` marks a *spinning* activation:
+    /// the operator was scheduled but had no work. Such events contribute
+    /// nothing to useful time and are dropped by the filtering layer.
+    ScheduleEnd {
+        /// Worker that scheduled the operator.
+        worker: WorkerId,
+        /// The scheduled operator.
+        operator: OperatorId,
+        /// Event timestamp in nanoseconds.
+        at_ns: u64,
+        /// Records pulled during the activation.
+        records_in: u64,
+        /// Records pushed during the activation.
+        records_out: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Returns `true` for `ScheduleEnd` events that did no work.
+    pub fn is_spinning_end(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::ScheduleEnd {
+                records_in: 0,
+                records_out: 0,
+                ..
+            }
+        )
+    }
+}
+
+/// Statistics about trace volume, demonstrating why the paper had to filter
+/// spinning events before they reach the metrics manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events offered to the aggregator.
+    pub total_events: u64,
+    /// Events dropped by the useful-work filter.
+    pub filtered_events: u64,
+}
+
+impl TraceStats {
+    /// Fraction of events dropped, in `[0, 1]`.
+    pub fn filtered_fraction(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.filtered_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// Aggregates raw trace events into per-(operator, worker) metric windows.
+#[derive(Debug, Default)]
+pub struct TraceAggregator {
+    /// Open activations: start timestamp per (operator, worker).
+    open: BTreeMap<(OperatorId, WorkerId), u64>,
+    /// Accumulated counters per (operator, worker).
+    acc: BTreeMap<(OperatorId, WorkerId), Acc>,
+    window_start_ns: u64,
+    stats: TraceStats,
+    /// When `true` (the paper's modified logger), spinning schedule events
+    /// are dropped at the source and never reach the accumulators.
+    filter_spinning: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    records_in: u64,
+    records_out: u64,
+    useful_ns: u64,
+    spinning_ns: u64,
+}
+
+impl TraceAggregator {
+    /// Creates an aggregator with the window starting at `now_ns`.
+    ///
+    /// `filter_spinning` enables the modified-logger behaviour (§4.1): only
+    /// activations that performed useful work are traced.
+    pub fn new(now_ns: u64, filter_spinning: bool) -> Self {
+        Self {
+            window_start_ns: now_ns,
+            filter_spinning,
+            ..Default::default()
+        }
+    }
+
+    /// Consumes one trace event.
+    pub fn observe(&mut self, event: TraceEvent) {
+        self.stats.total_events += 1;
+        match event {
+            TraceEvent::ScheduleStart {
+                worker,
+                operator,
+                at_ns,
+            } => {
+                self.open.insert((operator, worker), at_ns);
+            }
+            TraceEvent::ScheduleEnd {
+                worker,
+                operator,
+                at_ns,
+                records_in,
+                records_out,
+            } => {
+                let key = (operator, worker);
+                let Some(start) = self.open.remove(&key) else {
+                    // End without start: dropped (partial window).
+                    self.stats.filtered_events += 1;
+                    return;
+                };
+                let duration = at_ns.saturating_sub(start);
+                let spinning = records_in == 0 && records_out == 0;
+                if spinning && self.filter_spinning {
+                    self.stats.filtered_events += 1;
+                    return;
+                }
+                let acc = self.acc.entry(key).or_default();
+                if spinning {
+                    acc.spinning_ns += duration;
+                } else {
+                    acc.records_in += records_in;
+                    acc.records_out += records_out;
+                    acc.useful_ns += duration;
+                }
+            }
+        }
+    }
+
+    /// Volume statistics since construction.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Closes the window at `now_ns`, producing per-operator instance
+    /// metrics (one instance per worker that was scheduled) and resetting
+    /// the accumulators.
+    ///
+    /// Spinning time is reported as input-wait: a Timely worker that spins
+    /// on an empty queue is semantically waiting for input even though it
+    /// burns CPU — which is exactly why CPU utilization is a misleading
+    /// scaling metric for Timely (§2).
+    pub fn take_window(&mut self, now_ns: u64) -> BTreeMap<OperatorId, Vec<InstanceMetrics>> {
+        let window_ns = now_ns.saturating_sub(self.window_start_ns);
+        let mut out: BTreeMap<OperatorId, Vec<InstanceMetrics>> = BTreeMap::new();
+        for (&(op, _worker), acc) in &self.acc {
+            out.entry(op).or_default().push(InstanceMetrics {
+                records_in: acc.records_in,
+                records_out: acc.records_out,
+                useful_ns: acc.useful_ns.min(window_ns),
+                window_ns,
+                wait_input_ns: acc.spinning_ns,
+                wait_output_ns: 0,
+            });
+        }
+        self.acc.clear();
+        self.open.clear();
+        self.window_start_ns = now_ns;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(w: usize, op: usize, at: u64) -> TraceEvent {
+        TraceEvent::ScheduleStart {
+            worker: WorkerId(w),
+            operator: OperatorId(op),
+            at_ns: at,
+        }
+    }
+
+    fn end(w: usize, op: usize, at: u64, rin: u64, rout: u64) -> TraceEvent {
+        TraceEvent::ScheduleEnd {
+            worker: WorkerId(w),
+            operator: OperatorId(op),
+            at_ns: at,
+            records_in: rin,
+            records_out: rout,
+        }
+    }
+
+    #[test]
+    fn useful_activations_accumulate() {
+        let mut agg = TraceAggregator::new(0, true);
+        agg.observe(start(0, 1, 100));
+        agg.observe(end(0, 1, 400, 10, 20));
+        agg.observe(start(0, 1, 500));
+        agg.observe(end(0, 1, 800, 5, 10));
+        let win = agg.take_window(1_000);
+        let m = &win[&OperatorId(1)][0];
+        assert_eq!(m.records_in, 15);
+        assert_eq!(m.records_out, 30);
+        assert_eq!(m.useful_ns, 600);
+        assert_eq!(m.window_ns, 1_000);
+    }
+
+    #[test]
+    fn spinning_filtered_by_modified_logger() {
+        let mut agg = TraceAggregator::new(0, true);
+        for i in 0..100u64 {
+            agg.observe(start(0, 1, i * 10));
+            agg.observe(end(0, 1, i * 10 + 9, 0, 0));
+        }
+        agg.observe(start(0, 1, 2_000));
+        agg.observe(end(0, 1, 2_100, 7, 7));
+        assert!(agg.stats().filtered_fraction() > 0.45);
+        let win = agg.take_window(3_000);
+        let m = &win[&OperatorId(1)][0];
+        assert_eq!(m.useful_ns, 100);
+        assert_eq!(m.records_in, 7);
+        // Filtered spinning does not even count as wait.
+        assert_eq!(m.wait_input_ns, 0);
+    }
+
+    #[test]
+    fn spinning_counted_as_wait_when_unfiltered() {
+        let mut agg = TraceAggregator::new(0, false);
+        agg.observe(start(0, 1, 0));
+        agg.observe(end(0, 1, 500, 0, 0));
+        agg.observe(start(0, 1, 500));
+        agg.observe(end(0, 1, 700, 3, 3));
+        let win = agg.take_window(1_000);
+        let m = &win[&OperatorId(1)][0];
+        assert_eq!(m.useful_ns, 200);
+        assert_eq!(m.wait_input_ns, 500);
+    }
+
+    #[test]
+    fn per_worker_instances() {
+        let mut agg = TraceAggregator::new(0, true);
+        agg.observe(start(0, 1, 0));
+        agg.observe(end(0, 1, 100, 1, 1));
+        agg.observe(start(1, 1, 0));
+        agg.observe(end(1, 1, 300, 2, 2));
+        let win = agg.take_window(1_000);
+        assert_eq!(win[&OperatorId(1)].len(), 2);
+    }
+
+    #[test]
+    fn end_without_start_is_dropped() {
+        let mut agg = TraceAggregator::new(0, true);
+        agg.observe(end(0, 1, 100, 5, 5));
+        assert!(agg.take_window(1_000).is_empty());
+        assert_eq!(agg.stats().filtered_events, 1);
+    }
+
+    #[test]
+    fn window_reset_clears_state() {
+        let mut agg = TraceAggregator::new(0, true);
+        agg.observe(start(0, 1, 0));
+        agg.observe(end(0, 1, 100, 1, 1));
+        let _ = agg.take_window(1_000);
+        let win = agg.take_window(2_000);
+        assert!(win.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the Nexmark generator: referential integrity,
+//! proportions and determinism must hold for every seed and stream length.
+
+use ds2_nexmark::generator::{
+    EventGenerator, GeneratorConfig, AUCTION_PROPORTION, BID_PROPORTION, PERSON_PROPORTION,
+    PROPORTION_DENOMINATOR,
+};
+use ds2_nexmark::model::Event;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Person/auction/bid proportions hold exactly on block boundaries and
+    /// within one block otherwise.
+    #[test]
+    fn proportions_hold(seed in 0u64..10_000, blocks in 1usize..40) {
+        let n = blocks * PROPORTION_DENOMINATOR as usize;
+        let events = EventGenerator::seeded(seed).take_events(n);
+        let persons = events.iter().filter(|e| e.person().is_some()).count();
+        let auctions = events.iter().filter(|e| e.auction().is_some()).count();
+        let bids = events.iter().filter(|e| e.bid().is_some()).count();
+        prop_assert_eq!(persons, blocks * PERSON_PROPORTION as usize);
+        prop_assert_eq!(auctions, blocks * AUCTION_PROPORTION as usize);
+        prop_assert_eq!(bids, blocks * BID_PROPORTION as usize);
+    }
+
+    /// Every bid references an auction and a bidder that already exist;
+    /// every auction references an existing seller.
+    #[test]
+    fn referential_integrity(seed in 0u64..10_000, n in 100usize..5_000) {
+        let events = EventGenerator::seeded(seed).take_events(n);
+        let mut persons = 0u64;
+        let mut auctions = 0u64;
+        for e in &events {
+            match e {
+                Event::Person(p) => {
+                    prop_assert_eq!(p.id, persons, "person ids dense");
+                    persons += 1;
+                }
+                Event::Auction(a) => {
+                    prop_assert!(a.seller < persons.max(1));
+                    prop_assert_eq!(a.id, auctions, "auction ids dense");
+                    prop_assert!(a.expires > a.date_time);
+                    prop_assert!(a.reserve >= a.initial_bid);
+                    auctions += 1;
+                }
+                Event::Bid(b) => {
+                    prop_assert!(b.auction < auctions.max(1));
+                    prop_assert!(b.bidder < persons.max(1));
+                }
+            }
+        }
+    }
+
+    /// Event timestamps are monotone non-decreasing and follow the
+    /// configured inter-event gap.
+    #[test]
+    fn timestamps_monotone(seed in 0u64..10_000, gap_us in 1u64..10_000) {
+        let mut g = EventGenerator::new(GeneratorConfig {
+            seed,
+            inter_event_gap_us: gap_us,
+            ..Default::default()
+        });
+        let events = g.take_events(500);
+        for (i, w) in events.windows(2).enumerate() {
+            prop_assert!(w[0].timestamp() <= w[1].timestamp());
+            let expected = (i as u64 + 1) * gap_us / 1_000;
+            prop_assert_eq!(w[1].timestamp(), expected);
+        }
+    }
+
+    /// Same seed, same stream; different seeds, different streams (with
+    /// overwhelming probability on any non-trivial length).
+    #[test]
+    fn determinism(seed in 0u64..10_000) {
+        let a = EventGenerator::seeded(seed).take_events(300);
+        let b = EventGenerator::seeded(seed).take_events(300);
+        prop_assert_eq!(&a, &b);
+        let c = EventGenerator::seeded(seed.wrapping_add(1)).take_events(300);
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Person state/city pairs are always consistent (same index into the
+    /// fixture tables), keeping Q3's state filter meaningful.
+    #[test]
+    fn person_geography_consistent(seed in 0u64..10_000) {
+        use ds2_nexmark::model::{US_CITIES, US_STATES};
+        let events = EventGenerator::seeded(seed).take_events(2_000);
+        for e in events {
+            if let Event::Person(p) = e {
+                let si = US_STATES.iter().position(|&s| s == p.state);
+                let ci = US_CITIES.iter().position(|&c| c == p.city);
+                prop_assert_eq!(si, ci, "state {} / city {}", p.state, p.city);
+            }
+        }
+    }
+}

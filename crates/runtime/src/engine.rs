@@ -1,0 +1,531 @@
+//! The threaded execution engine: one OS thread per operator instance,
+//! bounded crossbeam channels between instances, hash partitioning on the
+//! producer's key function, and stop-the-world rescaling with keyed state
+//! migration — a miniature of the Flink mechanism §4.2 describes
+//! (savepoint, halt, redeploy with new parallelism).
+//!
+//! Every instance maintains the §4.1 counters through
+//! [`SharedCounters`]: records in/out, processing time, and input/output
+//! wait time, measured with wall-clock precision around the blocking
+//! channel operations.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::OperatorId;
+use ds2_core::snapshot::MetricsSnapshot;
+use ds2_metrics::counters::{CounterTotals, SharedCounters};
+
+use crate::job::{JobSpec, KeyFn};
+use crate::logic::{Logic, StateEntry};
+
+/// Batches flowing through channels.
+type Batch<R> = Vec<R>;
+
+/// A route from one instance to all instances of one downstream operator.
+struct OutputRoute<R> {
+    senders: Vec<Sender<Batch<R>>>,
+    key_fn: KeyFn<R>,
+}
+
+impl<R: Clone> OutputRoute<R> {
+    /// Partitions `records` by key and sends the per-instance batches,
+    /// accounting blocked time to `counters`.
+    fn send_all(&self, records: &[R], counters: &SharedCounters) {
+        if records.is_empty() || self.senders.is_empty() {
+            return;
+        }
+        let p = self.senders.len();
+        let mut buckets: Vec<Batch<R>> = vec![Vec::new(); p];
+        for r in records {
+            let k = (self.key_fn)(r) as usize % p;
+            buckets[k].push(r.clone());
+        }
+        for (k, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let t0 = Instant::now();
+            // A send error means the receiver is gone (shutdown under way):
+            // drop the batch, the job is being torn down anyway.
+            let _ = self.senders[k].send(bucket);
+            counters.add_wait_output(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// One deployed instance.
+struct InstanceHandle<R> {
+    counters: Arc<SharedCounters>,
+    last_totals: CounterTotals,
+    join: JoinHandle<Option<Box<dyn Logic<R>>>>,
+}
+
+/// A running job: deployed threads plus the control-plane state.
+pub struct RunningJob<R> {
+    spec: JobSpec<R>,
+    deployment: Deployment,
+    instances: BTreeMap<OperatorId, Vec<InstanceHandle<R>>>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+    last_snapshot: Duration,
+    rescales: u32,
+}
+
+impl<R: Clone + Send + 'static> RunningJob<R> {
+    /// Deploys `spec` with the given initial parallelism.
+    pub fn deploy(spec: JobSpec<R>, deployment: Deployment) -> Self {
+        spec.validate();
+        deployment
+            .validate(&spec.graph)
+            .expect("invalid deployment");
+        let mut job = Self {
+            spec,
+            deployment,
+            instances: BTreeMap::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            epoch: Instant::now(),
+            last_snapshot: Duration::ZERO,
+            rescales: 0,
+        };
+        job.spawn_all(BTreeMap::new());
+        job
+    }
+
+    /// Current deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Time since the job was first deployed.
+    pub fn elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Number of rescales performed.
+    pub fn rescales(&self) -> u32 {
+        self.rescales
+    }
+
+    /// Spawns all instances, restoring `state` (keyed entries per operator)
+    /// into the new logic instances.
+    fn spawn_all(&mut self, mut state: BTreeMap<OperatorId, Vec<StateEntry>>) {
+        self.stop = Arc::new(AtomicBool::new(false));
+
+        // Create input channels for every non-source instance.
+        let mut rx: BTreeMap<OperatorId, Vec<Receiver<Batch<R>>>> = BTreeMap::new();
+        let mut tx: BTreeMap<OperatorId, Vec<Sender<Batch<R>>>> = BTreeMap::new();
+        for op in self.spec.graph.operators() {
+            if self.spec.graph.is_source(op) {
+                continue;
+            }
+            let p = self.deployment.parallelism(op);
+            let mut rxs = Vec::with_capacity(p);
+            let mut txs = Vec::with_capacity(p);
+            for _ in 0..p {
+                let (s, r) = bounded(self.spec.channel_capacity);
+                txs.push(s);
+                rxs.push(r);
+            }
+            rx.insert(op, rxs);
+            tx.insert(op, txs);
+        }
+
+        let routes_for = |op: OperatorId, key_fn: &KeyFn<R>| -> Vec<OutputRoute<R>> {
+            self.spec
+                .graph
+                .downstream_edges(op)
+                .map(|e| OutputRoute {
+                    senders: tx[&e.to].clone(),
+                    key_fn: Arc::clone(key_fn),
+                })
+                .collect()
+        };
+
+        let mut instances: BTreeMap<OperatorId, Vec<InstanceHandle<R>>> = BTreeMap::new();
+
+        // Spawn non-source operators first so their receivers exist before
+        // sources start pushing.
+        for op in self.spec.graph.operators() {
+            if self.spec.graph.is_source(op) {
+                continue;
+            }
+            let p = self.deployment.parallelism(op);
+            let op_spec = self.spec.operators[&op].clone();
+            let op_state = state.remove(&op).unwrap_or_default();
+            // Partition restored state by key.
+            let mut buckets: Vec<Vec<StateEntry>> = (0..p).map(|_| Vec::new()).collect();
+            for (key, value) in op_state {
+                buckets[key as usize % p].push((key, value));
+            }
+            let mut handles = Vec::with_capacity(p);
+            let receivers = rx.remove(&op).expect("receivers created above");
+            for (k, receiver) in receivers.into_iter().enumerate() {
+                let mut logic = (op_spec.factory)();
+                logic.restore_state(std::mem::take(&mut buckets[k]));
+                let counters = SharedCounters::new();
+                let routes = routes_for(op, &op_spec.key_fn);
+                let c = Arc::clone(&counters);
+                let join = std::thread::Builder::new()
+                    .name(format!("{op}-{k}"))
+                    .spawn(move || Some(worker_loop(logic, receiver, routes, c)))
+                    .expect("spawn worker");
+                handles.push(InstanceHandle {
+                    counters,
+                    last_totals: CounterTotals::default(),
+                    join,
+                });
+            }
+            instances.insert(op, handles);
+        }
+
+        // Spawn sources.
+        for (&op, src) in &self.spec.sources {
+            let p = self.deployment.parallelism(op);
+            let mut handles = Vec::with_capacity(p);
+            for k in 0..p {
+                let counters = SharedCounters::new();
+                let routes = routes_for(op, &src.key_fn);
+                let c = Arc::clone(&counters);
+                let stop = Arc::clone(&self.stop);
+                let generate = Arc::clone(&src.generate);
+                let rate = src.rate / p as f64;
+                let batch = self.spec.batch_size;
+                let join = std::thread::Builder::new()
+                    .name(format!("{op}-src-{k}"))
+                    .spawn(move || {
+                        source_loop(generate, rate, batch, routes, c, stop);
+                        None
+                    })
+                    .expect("spawn source");
+                handles.push(InstanceHandle {
+                    counters,
+                    last_totals: CounterTotals::default(),
+                    join,
+                });
+            }
+            instances.insert(op, handles);
+        }
+
+        self.instances = instances;
+    }
+
+    /// Stops every thread (sources first, then the pipeline drains through
+    /// channel disconnection) and returns the drained keyed state.
+    fn halt(&mut self) -> BTreeMap<OperatorId, Vec<StateEntry>> {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut state: BTreeMap<OperatorId, Vec<StateEntry>> = BTreeMap::new();
+        // Join sources first: their senders drop, disconnecting downstream
+        // receivers once in-flight batches are drained.
+        let source_ids: Vec<OperatorId> = self.spec.graph.sources().to_vec();
+        for op in source_ids {
+            if let Some(handles) = self.instances.remove(&op) {
+                for h in handles {
+                    let _ = h.join.join().expect("source thread panicked");
+                }
+            }
+        }
+        // Then every downstream operator in topological order.
+        let order: Vec<OperatorId> = self.spec.graph.topological_order().collect();
+        for op in order {
+            let Some(handles) = self.instances.remove(&op) else {
+                continue;
+            };
+            let mut entries = Vec::new();
+            for h in handles {
+                if let Some(mut logic) = h.join.join().expect("worker thread panicked") {
+                    entries.extend(logic.drain_state());
+                }
+            }
+            state.insert(op, entries);
+        }
+        state
+    }
+
+    /// Stop-the-world rescale: halt, drain state, redeploy with `plan`.
+    ///
+    /// Returns the downtime (the paper's savepoint-and-restore latency).
+    pub fn rescale(&mut self, plan: Deployment) -> Duration {
+        plan.validate(&self.spec.graph).expect("invalid plan");
+        let t0 = Instant::now();
+        let state = self.halt();
+        self.deployment = plan;
+        self.spawn_all(state);
+        self.rescales += 1;
+        t0.elapsed()
+    }
+
+    /// Shuts the job down, returning the final drained state.
+    pub fn shutdown(mut self) -> BTreeMap<OperatorId, Vec<StateEntry>> {
+        self.halt()
+    }
+
+    /// Closes the instrumentation window and builds a metrics snapshot.
+    pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+        let now = self.epoch.elapsed();
+        let window_start = self.last_snapshot;
+        self.last_snapshot = now;
+        let mut snap = MetricsSnapshot::new();
+        for (&op, handles) in self.instances.iter_mut() {
+            let mut metrics = Vec::with_capacity(handles.len());
+            for h in handles.iter_mut() {
+                let totals = h.counters.totals();
+                metrics.push(totals.window_since(
+                    &h.last_totals,
+                    window_start.as_nanos() as u64,
+                    now.as_nanos() as u64,
+                ));
+                h.last_totals = totals;
+            }
+            snap.insert_instances(op, metrics);
+        }
+        for (&op, src) in &self.spec.sources {
+            snap.set_source_rate(op, src.rate);
+        }
+        snap
+    }
+}
+
+/// Worker loop for a non-source instance. Returns the logic for state
+/// migration once every upstream sender disconnected.
+fn worker_loop<R: Clone + Send + 'static>(
+    mut logic: Box<dyn Logic<R>>,
+    rx: Receiver<Batch<R>>,
+    routes: Vec<OutputRoute<R>>,
+    counters: Arc<SharedCounters>,
+) -> Box<dyn Logic<R>> {
+    let mut out_buf: Vec<R> = Vec::new();
+    loop {
+        let t_wait = Instant::now();
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(batch) => {
+                counters.add_wait_input(t_wait.elapsed().as_nanos() as u64);
+                let n_in = batch.len() as u64;
+                let t0 = Instant::now();
+                for r in batch {
+                    logic.process(r, &mut out_buf);
+                }
+                counters.add_processing(t0.elapsed().as_nanos() as u64);
+                counters.add_records_in(n_in);
+                let n_out = out_buf.len() as u64;
+                for route in &routes {
+                    route.send_all(&out_buf, &counters);
+                }
+                counters.add_records_out(n_out);
+                out_buf.clear();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                counters.add_wait_input(t_wait.elapsed().as_nanos() as u64);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    logic
+}
+
+/// Source loop: rate-limited generation in batches.
+fn source_loop<R: Clone + Send + 'static>(
+    generate: crate::job::SourceFn<R>,
+    rate: f64,
+    batch_size: usize,
+    routes: Vec<OutputRoute<R>>,
+    counters: Arc<SharedCounters>,
+    stop: Arc<AtomicBool>,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    let interval = Duration::from_secs_f64(batch_size as f64 / rate);
+    let mut seq = 0u64;
+    let mut next = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        let batch: Vec<R> = (0..batch_size)
+            .map(|_| {
+                let r = generate(seq);
+                seq += 1;
+                r
+            })
+            .collect();
+        counters.add_processing(t0.elapsed().as_nanos() as u64);
+        for route in &routes {
+            route.send_all(&batch, &counters);
+        }
+        counters.add_records_out(batch.len() as u64);
+
+        next += interval;
+        let now = Instant::now();
+        if next > now {
+            let sleep = next - now;
+            counters.add_wait_input(sleep.as_nanos() as u64);
+            std::thread::sleep(sleep);
+        } else {
+            // Falling behind (backpressure or overload): reset the clock so
+            // the source does not try to "catch up" in a burst.
+            next = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::FnLogic;
+    use ds2_core::graph::GraphBuilder;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    type Shared = Arc<Mutex<HashMap<u64, u64>>>;
+
+    /// A keyed counting logic with migratable state.
+    struct CountLogic {
+        counts: HashMap<u64, u64>,
+        sink: Shared,
+    }
+
+    impl Logic<u64> for CountLogic {
+        fn process(&mut self, record: u64, _out: &mut Vec<u64>) {
+            *self.counts.entry(record).or_insert(0) += 1;
+            *self.sink.lock().entry(record).or_insert(0) += 1;
+        }
+
+        fn drain_state(&mut self) -> Vec<StateEntry> {
+            self.counts
+                .drain()
+                .map(|(k, v)| (k, Box::new(v) as Box<dyn std::any::Any + Send>))
+                .collect()
+        }
+
+        fn restore_state(&mut self, entries: Vec<StateEntry>) {
+            for (k, v) in entries {
+                let v = *v.downcast::<u64>().expect("state is u64");
+                *self.counts.entry(k).or_insert(0) += v;
+            }
+        }
+    }
+
+    fn pipeline(rate: f64) -> (JobSpec<u64>, OperatorId, OperatorId, OperatorId, Shared) {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let m = b.operator("double");
+        let c = b.operator("count");
+        b.connect(s, m);
+        b.connect(m, c);
+        let g = b.build().unwrap();
+        let sink: Shared = Arc::new(Mutex::new(HashMap::new()));
+        let mut spec = JobSpec::new(g);
+        spec.source(s, rate, |n| n % 64, |&r| r);
+        spec.operator(
+            m,
+            || {
+                Box::new(FnLogic::new(|r: u64, out: &mut Vec<u64>| {
+                    out.push(r);
+                    out.push(r);
+                }))
+            },
+            |&r| r,
+        );
+        let sink2 = Arc::clone(&sink);
+        spec.operator(
+            c,
+            move || {
+                Box::new(CountLogic {
+                    counts: HashMap::new(),
+                    sink: Arc::clone(&sink2),
+                })
+            },
+            |&r| r,
+        );
+        (spec, s, m, c, sink)
+    }
+
+    #[test]
+    fn records_flow_end_to_end() {
+        let (spec, _s, m, _c, sink) = pipeline(20_000.0);
+        let g = spec.graph.clone();
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 2));
+        std::thread::sleep(Duration::from_millis(600));
+        let snap = job.collect_snapshot();
+        let state = job.shutdown();
+        let total: u64 = sink.lock().values().sum();
+        assert!(total > 5_000, "only {total} records reached the sink");
+        // The doubling operator emits 2 records per input.
+        let m_metrics = snap.operator(m).unwrap();
+        let sel = m_metrics.total_records_out() as f64 / m_metrics.total_records_in() as f64;
+        assert!((sel - 2.0).abs() < 0.01, "selectivity {sel}");
+        // Count state drained on shutdown matches the sink totals.
+        let drained: usize = state.values().map(Vec::len).sum();
+        assert!(drained > 0);
+    }
+
+    #[test]
+    fn snapshot_reports_all_instances() {
+        let (spec, s, m, c, _sink) = pipeline(5_000.0);
+        let g = spec.graph.clone();
+        let mut d = Deployment::uniform(&g, 1);
+        d.set(m, 3);
+        let mut job = RunningJob::deploy(spec, d);
+        std::thread::sleep(Duration::from_millis(300));
+        let snap = job.collect_snapshot();
+        assert_eq!(snap.operator(s).unwrap().parallelism(), 1);
+        assert_eq!(snap.operator(m).unwrap().parallelism(), 3);
+        assert_eq!(snap.operator(c).unwrap().parallelism(), 1);
+        assert_eq!(snap.source_rates[&s], 5_000.0);
+        // Wu <= W for every instance.
+        for om in snap.operators.values() {
+            for i in &om.instances {
+                assert!(i.validate().is_ok());
+            }
+        }
+        job.shutdown();
+    }
+
+    #[test]
+    fn rescale_preserves_counts() {
+        let (spec, _s, _m, c, sink) = pipeline(20_000.0);
+        let g = spec.graph.clone();
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 1));
+        std::thread::sleep(Duration::from_millis(400));
+        let mut plan = job.deployment().clone();
+        plan.set(c, 4);
+        let downtime = job.rescale(plan);
+        assert!(downtime < Duration::from_secs(5));
+        assert_eq!(job.rescales(), 1);
+        std::thread::sleep(Duration::from_millis(400));
+        let mut state = job.shutdown();
+        // Every record that reached the sink is still accounted for in the
+        // migrated state: aggregate drained counts equal sink totals.
+        let sink_total: u64 = sink.lock().values().sum();
+        let mut drained_total = 0u64;
+        for (_k, v) in state.remove(&c).unwrap_or_default() {
+            drained_total += *v.downcast::<u64>().unwrap();
+        }
+        assert_eq!(
+            drained_total, sink_total,
+            "state lost or duplicated across rescale"
+        );
+    }
+
+    #[test]
+    fn rates_reflect_load() {
+        let (spec, s, _m, _c, _sink) = pipeline(10_000.0);
+        let g = spec.graph.clone();
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 2));
+        std::thread::sleep(Duration::from_millis(250));
+        let _ = job.collect_snapshot();
+        std::thread::sleep(Duration::from_millis(750));
+        let snap = job.collect_snapshot();
+        let src = snap.operator(s).unwrap();
+        let out_rate = src.aggregate_observed_output_rate().unwrap();
+        assert!(
+            (out_rate - 10_000.0).abs() < 2_500.0,
+            "source rate {out_rate} should be ~10k/s"
+        );
+        job.shutdown();
+    }
+}

@@ -1,0 +1,179 @@
+//! Job specification: a logical dataflow plus the code and configuration
+//! needed to run it on the threaded engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ds2_core::graph::{LogicalGraph, OperatorId};
+
+use crate::logic::Logic;
+
+/// Factory producing fresh logic instances for an operator (one per
+/// parallel instance, re-created on every rescale).
+pub type LogicFactory<R> = Arc<dyn Fn() -> Box<dyn Logic<R>> + Send + Sync>;
+
+/// Key extractor used to partition records among downstream instances.
+pub type KeyFn<R> = Arc<dyn Fn(&R) -> u64 + Send + Sync>;
+
+/// Generator invoked by source instances to produce the next record.
+pub type SourceFn<R> = Arc<dyn Fn(u64) -> R + Send + Sync>;
+
+/// Specification of one non-source operator.
+pub struct OperatorSpec<R> {
+    /// Creates the per-instance logic.
+    pub factory: LogicFactory<R>,
+    /// Extracts the partitioning key from an *output* record.
+    pub key_fn: KeyFn<R>,
+}
+
+impl<R> Clone for OperatorSpec<R> {
+    fn clone(&self) -> Self {
+        Self {
+            factory: Arc::clone(&self.factory),
+            key_fn: Arc::clone(&self.key_fn),
+        }
+    }
+}
+
+/// Specification of one source operator.
+pub struct SourceOpSpec<R> {
+    /// Produces the `n`-th record of an instance (monotone counter per
+    /// instance).
+    pub generate: SourceFn<R>,
+    /// Extracts the partitioning key from a generated record.
+    pub key_fn: KeyFn<R>,
+    /// Aggregate offered rate across instances, records/second.
+    pub rate: f64,
+}
+
+impl<R> Clone for SourceOpSpec<R> {
+    fn clone(&self) -> Self {
+        Self {
+            generate: Arc::clone(&self.generate),
+            key_fn: Arc::clone(&self.key_fn),
+            rate: self.rate,
+        }
+    }
+}
+
+/// A complete job: graph, operator code, source drivers, engine knobs.
+pub struct JobSpec<R> {
+    /// The logical dataflow.
+    pub graph: LogicalGraph,
+    /// Logic for every non-source operator.
+    pub operators: BTreeMap<OperatorId, OperatorSpec<R>>,
+    /// Drivers for every source operator.
+    pub sources: BTreeMap<OperatorId, SourceOpSpec<R>>,
+    /// Records per channel batch (Flink-style buffer granularity).
+    pub batch_size: usize,
+    /// Bounded channel capacity, in batches, per receiving instance.
+    pub channel_capacity: usize,
+}
+
+impl<R> JobSpec<R> {
+    /// Creates a job spec with default batching (128-record batches, 64
+    /// batches of channel capacity).
+    pub fn new(graph: LogicalGraph) -> Self {
+        Self {
+            graph,
+            operators: BTreeMap::new(),
+            sources: BTreeMap::new(),
+            batch_size: 128,
+            channel_capacity: 64,
+        }
+    }
+
+    /// Registers a non-source operator.
+    pub fn operator(
+        &mut self,
+        op: OperatorId,
+        factory: impl Fn() -> Box<dyn Logic<R>> + Send + Sync + 'static,
+        key_fn: impl Fn(&R) -> u64 + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.operators.insert(
+            op,
+            OperatorSpec {
+                factory: Arc::new(factory),
+                key_fn: Arc::new(key_fn),
+            },
+        );
+        self
+    }
+
+    /// Registers a source driver.
+    pub fn source(
+        &mut self,
+        op: OperatorId,
+        rate: f64,
+        generate: impl Fn(u64) -> R + Send + Sync + 'static,
+        key_fn: impl Fn(&R) -> u64 + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.sources.insert(
+            op,
+            SourceOpSpec {
+                generate: Arc::new(generate),
+                key_fn: Arc::new(key_fn),
+                rate,
+            },
+        );
+        self
+    }
+
+    /// Validates that every operator of the graph has code attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing registration — a programming error in job setup.
+    pub fn validate(&self) {
+        for op in self.graph.operators() {
+            if self.graph.is_source(op) {
+                assert!(
+                    self.sources.contains_key(&op),
+                    "source {op} has no driver registered"
+                );
+            } else {
+                assert!(
+                    self.operators.contains_key(&op),
+                    "operator {op} has no logic registered"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::FnLogic;
+    use ds2_core::graph::GraphBuilder;
+
+    #[test]
+    fn builds_and_validates() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut spec: JobSpec<u64> = JobSpec::new(g);
+        spec.source(s, 100.0, |n| n, |&r| r);
+        spec.operator(
+            o,
+            || Box::new(FnLogic::new(|r: u64, out: &mut Vec<u64>| out.push(r))),
+            |&r| r,
+        );
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no logic registered")]
+    fn missing_operator_panics() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut spec: JobSpec<u64> = JobSpec::new(g);
+        spec.source(s, 100.0, |n| n, |&r| r);
+        spec.validate();
+    }
+}

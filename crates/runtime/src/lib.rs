@@ -1,0 +1,30 @@
+//! # ds2-runtime — a real threaded mini streaming engine under DS2 control
+//!
+//! The simulator (`ds2-simulator`) reproduces the paper's experiments at
+//! paper-scale rates in virtual time. This crate complements it with a
+//! *real* engine in miniature: operator instances are OS threads, channels
+//! are bounded crossbeam queues (blocking on empty input / full output,
+//! exactly the Flink behaviour §3.2 describes), records are hash-partitioned
+//! by key, instrumentation uses the lock-free §4.1 counters over wall-clock
+//! time, and rescaling is stop-the-world with keyed state migration.
+//!
+//! It exists to demonstrate — and test — the controller end to end against
+//! genuine measurements rather than modelled ones, at laptop-scale rates.
+//!
+//! * [`logic`] — the operator `Logic` trait plus adapters;
+//! * [`job`] — job specification (graph + code + rates);
+//! * [`engine`] — deployment, execution, rescaling, metrics collection;
+//! * [`control`] — the live control loop driving any `ScalingController`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod engine;
+pub mod job;
+pub mod logic;
+
+pub use control::{run_control_loop, ControlConfig, ControlEvent};
+pub use engine::RunningJob;
+pub use job::{JobSpec, OperatorSpec, SourceOpSpec};
+pub use logic::{CostedLogic, FnLogic, Logic, StateEntry};

@@ -1,0 +1,128 @@
+//! Operator logic: the user-defined function an operator instance runs.
+
+use std::any::Any;
+
+/// A keyed state entry drained from (or restored into) an operator
+/// instance during rescaling. The key determines which new instance
+/// receives the entry (`hash(key) % new_parallelism`).
+pub type StateEntry = (u64, Box<dyn Any + Send>);
+
+/// User-defined operator logic over records of type `R`.
+///
+/// A logic instance is owned by exactly one worker thread; the engine
+/// migrates state across a rescale by draining entries from the old
+/// instances and restoring them into fresh ones, partitioned by key.
+pub trait Logic<R>: Send + 'static {
+    /// Processes one record, appending any outputs.
+    fn process(&mut self, record: R, out: &mut Vec<R>);
+
+    /// Drains this instance's keyed state for migration.
+    ///
+    /// Stateless operators use the default empty implementation.
+    fn drain_state(&mut self) -> Vec<StateEntry> {
+        Vec::new()
+    }
+
+    /// Restores keyed state drained from a previous deployment.
+    fn restore_state(&mut self, _entries: Vec<StateEntry>) {}
+}
+
+/// Stateless logic from a closure.
+pub struct FnLogic<R, F: FnMut(R, &mut Vec<R>) + Send + 'static> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(R)>,
+}
+
+impl<R, F: FnMut(R, &mut Vec<R>) + Send + 'static> FnLogic<R, F> {
+    /// Wraps a closure as stateless operator logic.
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: Send + 'static, F: FnMut(R, &mut Vec<R>) + Send + 'static> Logic<R> for FnLogic<R, F> {
+    fn process(&mut self, record: R, out: &mut Vec<R>) {
+        (self.f)(record, out)
+    }
+}
+
+/// Logic that takes a fixed amount of time per record before applying a
+/// closure — used to emulate operators with a known per-record cost in
+/// tests and examples (the runtime equivalent of a simulator profile).
+///
+/// By default the cost is slept, not spun: the instrumentation measures the
+/// same elapsed processing time either way, but sleeping keeps emulated
+/// instances from inflating each other's costs through CPU contention when
+/// many run on few cores. Use [`CostedLogic::busy`] to burn real CPU.
+pub struct CostedLogic<R, F: FnMut(R, &mut Vec<R>) + Send + 'static> {
+    cost: std::time::Duration,
+    spin: bool,
+    inner: FnLogic<R, F>,
+}
+
+impl<R, F: FnMut(R, &mut Vec<R>) + Send + 'static> CostedLogic<R, F> {
+    /// Creates logic sleeping `cost` per record around `f`.
+    pub fn new(cost: std::time::Duration, f: F) -> Self {
+        Self {
+            cost,
+            spin: false,
+            inner: FnLogic::new(f),
+        }
+    }
+
+    /// Creates logic busy-spinning `cost` of CPU per record around `f`.
+    pub fn busy(cost: std::time::Duration, f: F) -> Self {
+        Self {
+            cost,
+            spin: true,
+            inner: FnLogic::new(f),
+        }
+    }
+}
+
+impl<R: Send + 'static, F: FnMut(R, &mut Vec<R>) + Send + 'static> Logic<R> for CostedLogic<R, F> {
+    fn process(&mut self, record: R, out: &mut Vec<R>) {
+        if self.spin {
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.cost {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::sleep(self.cost);
+        }
+        self.inner.process(record, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_logic_processes() {
+        let mut l = FnLogic::new(|r: u64, out: &mut Vec<u64>| {
+            out.push(r * 2);
+            out.push(r * 3);
+        });
+        let mut out = Vec::new();
+        l.process(5, &mut out);
+        assert_eq!(out, vec![10, 15]);
+        assert!(l.drain_state().is_empty());
+    }
+
+    #[test]
+    fn costed_logic_burns_time() {
+        let mut l = CostedLogic::new(
+            std::time::Duration::from_millis(5),
+            |r: u64, out: &mut Vec<u64>| out.push(r),
+        );
+        let mut out = Vec::new();
+        let t0 = std::time::Instant::now();
+        l.process(1, &mut out);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(out, vec![1]);
+    }
+}

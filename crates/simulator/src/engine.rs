@@ -1,0 +1,1551 @@
+//! The fluid queueing engine: a deterministic, virtual-time simulation of a
+//! distributed streaming dataflow.
+//!
+//! The engine advances in fixed ticks. Each tick, operator instances drain
+//! their input queues subject to (a) per-instance service capacity derived
+//! from their [`OperatorProfile`](crate::profile::OperatorProfile), (b)
+//! skewed key partitioning across instances, and (c) the execution-model
+//! personality:
+//!
+//! * **Flink** — bounded *per-instance* input queues; an upstream operator
+//!   blocks on output as soon as any receiving instance's queue is full
+//!   (credit-based flow control preserves FIFO order, so one full channel
+//!   stalls the sender); rescaling is stop-the-world savepoint-and-restore.
+//! * **Heron** — the same partitioned queues but much larger (the paper's
+//!   100 MiB operator queues), plus a backpressure *signal*: when any queue
+//!   crosses its high watermark the sources stop entirely until every queue
+//!   drains below the low watermark (Heron's spout-pausing behaviour, which
+//!   is why Dhalion's reaction time depends on queue fill, §5.2).
+//! * **Timely** — a global worker pool shared by all operators round-robin,
+//!   one unbounded queue per operator, no backpressure: when
+//!   under-provisioned the queues simply grow (§5.5).
+//!
+//! Queue entries carry their source emission time, giving exact end-to-end
+//! record latency and epoch-completion tracking. Per-instance §4.1 counters
+//! (records in/out, useful time, waits) are maintained in virtual time and
+//! exported as [`MetricsSnapshot`]s.
+
+use std::collections::BTreeMap;
+
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::{LogicalGraph, OperatorId};
+use ds2_core::rates::InstanceMetrics;
+use ds2_core::snapshot::MetricsSnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::latency::{EpochTracker, LatencyRecorder};
+use crate::profile::{OperatorProfile, OutputMode, ProfileMap};
+use crate::queue::{EpochQueue, Span};
+use crate::source::SourceSpec;
+
+/// Execution-model personality (§4.3 and §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Per-operator parallelism, bounded queues, blocking backpressure.
+    Flink,
+    /// Per-operator parallelism, large queues, spout-pausing backpressure.
+    Heron,
+    /// Global worker pool, unbounded queues, no backpressure.
+    Timely,
+}
+
+/// Instrumentation cost model (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrumentationConfig {
+    /// Whether §4.1 instrumentation is active.
+    pub enabled: bool,
+    /// Extra per-record cost of maintaining counters, in nanoseconds. Added
+    /// to the *measured* (and real) processing cost when enabled — the
+    /// counters run inside the instance's processing loop.
+    pub per_record_cost_ns: f64,
+}
+
+impl InstrumentationConfig {
+    /// Instrumentation disabled (the Fig. 10 "vanilla" baseline).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            per_record_cost_ns: 0.0,
+        }
+    }
+}
+
+impl Default for InstrumentationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            per_record_cost_ns: 25.0,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Execution-model personality.
+    pub mode: EngineMode,
+    /// Simulation step in nanoseconds (default 10 ms).
+    pub tick_ns: u64,
+    /// Per-instance input queue capacity in records (Flink mode).
+    pub per_instance_queue: f64,
+    /// Per-instance queue capacity in records for Heron mode (the paper's
+    /// 100 MiB operator queues).
+    pub heron_per_instance_queue: f64,
+    /// Queue fill fraction at which Heron pauses the sources.
+    pub heron_high_watermark: f64,
+    /// Queue fill fraction below which Heron resumes the sources.
+    pub heron_low_watermark: f64,
+    /// Stop-the-world redeployment latency in nanoseconds.
+    pub reconfig_latency_ns: u64,
+    /// RNG seed for service-noise sampling.
+    pub seed: u64,
+    /// Standard deviation of multiplicative service-rate noise (0 = exact).
+    pub service_noise: f64,
+    /// Instrumentation cost model.
+    pub instrumentation: InstrumentationConfig,
+    /// Epoch length for completion-latency tracking (Timely experiments).
+    pub epoch_ns: u64,
+    /// Initial worker count in Timely mode.
+    pub timely_workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: EngineMode::Flink,
+            tick_ns: 10_000_000, // 10 ms
+            per_instance_queue: 5_000.0,
+            heron_per_instance_queue: 1_000_000.0,
+            heron_high_watermark: 0.9,
+            heron_low_watermark: 0.3,
+            reconfig_latency_ns: 30_000_000_000, // 30 s, the §5.3 Flink savepoint time
+            seed: 42,
+            service_noise: 0.0,
+            instrumentation: InstrumentationConfig::default(),
+            epoch_ns: 1_000_000_000,
+            timely_workers: 1,
+        }
+    }
+}
+
+/// Per-instance accumulation between snapshots (virtual-time counters).
+#[derive(Debug, Clone, Copy, Default)]
+struct InstanceAcc {
+    records_in: f64,
+    records_out: f64,
+    useful_ns: f64,
+    wait_input_ns: f64,
+    wait_output_ns: f64,
+}
+
+/// Per-operator runtime state.
+#[derive(Debug)]
+struct OpState {
+    /// Partitioned input queues: one per instance (Flink/Heron), exactly one
+    /// shared queue in Timely mode, none for sources.
+    queues: Vec<EpochQueue>,
+    /// Input share per queue (sums to 1); parallel to `queues`.
+    shares: Vec<f64>,
+    /// Per-instance accumulators since the last snapshot.
+    acc: Vec<InstanceAcc>,
+    /// Buffered output of a windowed operator awaiting the next firing.
+    window_pending: f64,
+    /// Oldest source tag among buffered window output.
+    window_pending_oldest: Option<u64>,
+    /// Time of the next window firing.
+    next_fire_ns: u64,
+}
+
+impl OpState {
+    fn queued(&self) -> f64 {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Maximum total emission the partitioned queues accept: the first full
+    /// partition stalls the sender.
+    fn accept_limit(&self) -> f64 {
+        let mut limit = f64::INFINITY;
+        for (q, &w) in self.queues.iter().zip(&self.shares) {
+            if w > 0.0 {
+                limit = limit.min(q.space() / w);
+            }
+        }
+        limit
+    }
+
+    /// Pushes `records` (tagged `tag`) split across partitions by share.
+    fn push_partitioned(&mut self, tag: u64, records: f64) {
+        for (q, &w) in self.queues.iter_mut().zip(&self.shares) {
+            if w > 0.0 {
+                q.push(tag, records * w);
+            }
+        }
+    }
+}
+
+/// Statistics of the most recent tick, for timelines.
+#[derive(Debug, Clone, Default)]
+pub struct TickStats {
+    /// Records each source offered this tick.
+    pub offered: BTreeMap<OperatorId, f64>,
+    /// Records each source actually emitted this tick.
+    pub emitted: BTreeMap<OperatorId, f64>,
+    /// Whether the Heron backpressure signal was active.
+    pub backpressure: bool,
+    /// Whether the engine was halted for redeployment.
+    pub halted: bool,
+}
+
+/// Events produced by a tick.
+#[derive(Debug, Clone, Default)]
+pub struct TickEvents {
+    /// A pending rescale finished deploying this tick.
+    pub deployed: Option<Deployment>,
+}
+
+/// The fluid queueing engine.
+#[derive(Debug)]
+pub struct FluidEngine {
+    graph: LogicalGraph,
+    profiles: ProfileMap,
+    sources: BTreeMap<OperatorId, SourceSpec>,
+    cfg: EngineConfig,
+    deployment: Deployment,
+    timely_workers: usize,
+    states: BTreeMap<OperatorId, OpState>,
+    /// Durable backlog per source (records offered but not yet emitted).
+    backlog: BTreeMap<OperatorId, f64>,
+    now_ns: u64,
+    snapshot_start_ns: u64,
+    rng: SmallRng,
+    pending_rescale: Option<(u64, Deployment, usize)>,
+    heron_backpressure: bool,
+    latency: LatencyRecorder,
+    epochs: EpochTracker,
+    last_tick: TickStats,
+    /// Reverse topological order (sinks first), cached.
+    reverse_topo: Vec<OperatorId>,
+}
+
+impl FluidEngine {
+    /// Creates an engine for `graph` with the given profiles, sources,
+    /// initial deployment and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-source operator lacks a profile, a source lacks a
+    /// spec, or the deployment misses an operator — these are programming
+    /// errors in experiment setup.
+    pub fn new(
+        graph: LogicalGraph,
+        profiles: ProfileMap,
+        sources: BTreeMap<OperatorId, SourceSpec>,
+        deployment: Deployment,
+        cfg: EngineConfig,
+    ) -> Self {
+        deployment.validate(&graph).expect("invalid deployment");
+        for op in graph.operators() {
+            if graph.is_source(op) {
+                assert!(sources.contains_key(&op), "missing SourceSpec for {op}");
+            } else {
+                assert!(profiles.contains_key(&op), "missing profile for {op}");
+            }
+        }
+        let reverse_topo: Vec<OperatorId> = {
+            let mut t: Vec<OperatorId> = graph.topological_order().collect();
+            t.reverse();
+            t
+        };
+        let timely_workers = cfg.timely_workers.max(1);
+        let epoch_ns = cfg.epoch_ns;
+        let seed = cfg.seed;
+        let mut engine = Self {
+            graph,
+            profiles,
+            sources,
+            cfg,
+            deployment,
+            timely_workers,
+            states: BTreeMap::new(),
+            backlog: BTreeMap::new(),
+            now_ns: 0,
+            snapshot_start_ns: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            pending_rescale: None,
+            heron_backpressure: false,
+            latency: LatencyRecorder::new(),
+            epochs: EpochTracker::new(epoch_ns),
+            last_tick: TickStats::default(),
+            reverse_topo,
+        };
+        engine.init_states();
+        engine
+    }
+
+    /// Number of metric-reporting instances of an operator.
+    fn instances_of(&self, op: OperatorId) -> usize {
+        match self.cfg.mode {
+            EngineMode::Timely => self.timely_workers,
+            _ => self.deployment.parallelism(op).max(1),
+        }
+    }
+
+    /// Number of partitioned input queues for a non-source operator.
+    fn partitions_of(&self, op: OperatorId) -> usize {
+        match self.cfg.mode {
+            EngineMode::Timely => 1,
+            _ => self.deployment.parallelism(op).max(1),
+        }
+    }
+
+    fn per_partition_capacity(&self) -> f64 {
+        match self.cfg.mode {
+            EngineMode::Flink => self.cfg.per_instance_queue,
+            EngineMode::Heron => self.cfg.heron_per_instance_queue,
+            EngineMode::Timely => f64::INFINITY,
+        }
+    }
+
+    fn partition_shares(&self, op: OperatorId) -> Vec<f64> {
+        match self.cfg.mode {
+            EngineMode::Timely => vec![1.0],
+            _ => self.profiles[&op].instance_weights(self.partitions_of(op)),
+        }
+    }
+
+    fn make_op_state(&self, op: OperatorId) -> OpState {
+        let (queues, shares) = if self.graph.is_source(op) {
+            (Vec::new(), Vec::new())
+        } else {
+            let n = self.partitions_of(op);
+            let cap = self.per_partition_capacity();
+            (
+                (0..n).map(|_| EpochQueue::new(cap)).collect(),
+                self.partition_shares(op),
+            )
+        };
+        OpState {
+            queues,
+            shares,
+            acc: vec![InstanceAcc::default(); self.instances_of(op)],
+            window_pending: 0.0,
+            window_pending_oldest: None,
+            next_fire_ns: self.window_period(op).map_or(u64::MAX, |p| self.now_ns + p),
+        }
+    }
+
+    fn init_states(&mut self) {
+        self.states = self
+            .graph
+            .operators()
+            .map(|op| (op, self.make_op_state(op)))
+            .collect();
+    }
+
+    fn window_period(&self, op: OperatorId) -> Option<u64> {
+        match self.profiles.get(&op).map(|p| p.output) {
+            Some(OutputMode::Windowed { period_ns, .. }) => Some(period_ns),
+            _ => None,
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The logical graph the engine executes.
+    pub fn graph(&self) -> &LogicalGraph {
+        &self.graph
+    }
+
+    /// The current deployment. In Timely mode every operator's parallelism
+    /// reads as the worker-pool size (each worker runs every operator).
+    pub fn current_deployment(&self) -> Deployment {
+        match self.cfg.mode {
+            EngineMode::Timely => Deployment::from_map(
+                self.graph
+                    .operators()
+                    .map(|op| (op, self.timely_workers))
+                    .collect(),
+            ),
+            _ => self.deployment.clone(),
+        }
+    }
+
+    /// Current Timely worker count.
+    pub fn timely_workers(&self) -> usize {
+        self.timely_workers
+    }
+
+    /// Record latency distribution observed at the sinks so far.
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.latency
+    }
+
+    /// Epoch completion tracker.
+    pub fn epochs(&self) -> &EpochTracker {
+        &self.epochs
+    }
+
+    /// Statistics of the most recent tick.
+    pub fn last_tick(&self) -> &TickStats {
+        &self.last_tick
+    }
+
+    /// Whether the Heron backpressure signal is currently raised.
+    pub fn backpressure_active(&self) -> bool {
+        self.heron_backpressure
+    }
+
+    /// Current total input-queue length of an operator, in records.
+    pub fn queue_len(&self, op: OperatorId) -> f64 {
+        self.states.get(&op).map_or(0.0, |s| s.queued())
+    }
+
+    /// Durable backlog of a source, in records.
+    pub fn backlog(&self, op: OperatorId) -> f64 {
+        self.backlog.get(&op).copied().unwrap_or(0.0)
+    }
+
+    /// Requests a rescale to `plan` (Flink/Heron) taking effect after the
+    /// configured redeployment latency, during which the job is down.
+    pub fn request_rescale(&mut self, plan: Deployment) {
+        plan.validate(&self.graph).expect("invalid rescale plan");
+        let workers = self.timely_workers;
+        self.pending_rescale = Some((self.now_ns + self.cfg.reconfig_latency_ns, plan, workers));
+    }
+
+    /// Requests a Timely worker-pool rescale.
+    pub fn request_worker_rescale(&mut self, workers: usize) {
+        let plan = self.deployment.clone();
+        self.pending_rescale = Some((
+            self.now_ns + self.cfg.reconfig_latency_ns,
+            plan,
+            workers.max(1),
+        ));
+    }
+
+    /// `true` while a redeployment is in progress.
+    pub fn is_halted(&self) -> bool {
+        self.pending_rescale.is_some()
+    }
+
+    fn noise_factor(&mut self) -> f64 {
+        if self.cfg.service_noise <= 0.0 {
+            return 1.0;
+        }
+        // Box-Muller transform for a Gaussian factor, clamped to stay
+        // positive and bounded.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0f64);
+        let u2: f64 = self.rng.gen_range(0.0..1.0f64);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (1.0 + self.cfg.service_noise * g).clamp(0.25, 4.0)
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn tick(&mut self) -> TickEvents {
+        let mut events = TickEvents::default();
+        let tick_ns = self.cfg.tick_ns;
+        let tick_end = self.now_ns + tick_ns;
+        let mut stats = TickStats::default();
+
+        // Redeployment window: the job is down. Sources accumulate durable
+        // backlog; every instance only waits.
+        if let Some((resume_at, plan, workers)) = self.pending_rescale.clone() {
+            if tick_end < resume_at {
+                self.halted_tick(&mut stats, tick_ns);
+                self.now_ns = tick_end;
+                self.last_tick = stats;
+                return events;
+            }
+            // Deploy now: apply the plan, redistribute queued records into
+            // the new partitioning (the savepoint restored operator state),
+            // resize accumulators.
+            self.halted_tick(&mut stats, tick_ns);
+            self.deployment = plan;
+            self.timely_workers = workers;
+            self.pending_rescale = None;
+            self.apply_new_partitioning();
+            self.heron_backpressure = false;
+            events.deployed = Some(self.current_deployment());
+            self.now_ns = tick_end;
+            stats.halted = true;
+            self.last_tick = stats;
+            return events;
+        }
+
+        match self.cfg.mode {
+            EngineMode::Flink | EngineMode::Heron => self.tick_blocking(&mut stats, tick_ns),
+            EngineMode::Timely => self.tick_timely(&mut stats, tick_ns),
+        }
+
+        // Heron spout-pausing signal update: driven by the fullest partition
+        // anywhere in the dataflow.
+        if self.cfg.mode == EngineMode::Heron {
+            let max_fill = self
+                .states
+                .values()
+                .flat_map(|s| s.queues.iter())
+                .map(|q| q.fill_fraction())
+                .fold(0.0f64, f64::max);
+            if self.heron_backpressure {
+                if max_fill < self.cfg.heron_low_watermark {
+                    self.heron_backpressure = false;
+                }
+            } else if max_fill > self.cfg.heron_high_watermark {
+                self.heron_backpressure = true;
+            }
+        }
+        stats.backpressure = self.heron_backpressure;
+
+        self.now_ns = tick_end;
+
+        // Epoch tracking: the frontier is the oldest source tag still queued
+        // or buffered anywhere.
+        let mut frontier: Option<u64> = None;
+        for st in self.states.values() {
+            let candidates = st
+                .queues
+                .iter()
+                .filter_map(|q| q.oldest_ns())
+                .chain(st.window_pending_oldest);
+            for c in candidates {
+                frontier = Some(frontier.map_or(c, |f: u64| f.min(c)));
+            }
+        }
+        self.epochs.advance(self.now_ns, frontier);
+
+        self.last_tick = stats;
+        events
+    }
+
+    /// Rebuilds queue partitioning after a rescale, preserving contents.
+    fn apply_new_partitioning(&mut self) {
+        for op in self.graph.operators() {
+            let new_state = self.make_op_state(op);
+            let old = self.states.insert(op, new_state).expect("state exists");
+            let st = self.states.get_mut(&op).expect("just inserted");
+            st.window_pending = old.window_pending;
+            st.window_pending_oldest = old.window_pending_oldest;
+            st.next_fire_ns = old.next_fire_ns;
+            // Collect old spans (merge partitions, oldest first) and
+            // repartition them into the new queues.
+            let mut spans: Vec<Span> = Vec::new();
+            for mut q in old.queues {
+                spans.extend(q.pop(f64::INFINITY));
+            }
+            spans.sort_by_key(|s| s.emitted_ns);
+            for span in spans {
+                st.push_partitioned(span.emitted_ns, span.records);
+            }
+        }
+    }
+
+    /// A tick during which the job is down: only wait time accumulates and
+    /// durable sources build backlog.
+    fn halted_tick(&mut self, stats: &mut TickStats, tick_ns: u64) {
+        stats.halted = true;
+        let tick_s = tick_ns as f64 / 1e9;
+        for (&op, spec) in &self.sources {
+            let offered = spec.schedule.rate_at(self.now_ns) * tick_s;
+            stats.offered.insert(op, offered);
+            stats.emitted.insert(op, 0.0);
+            if spec.durable_backlog {
+                *self.backlog.entry(op).or_insert(0.0) += offered;
+            }
+        }
+        for st in self.states.values_mut() {
+            for acc in &mut st.acc {
+                acc.wait_input_ns += tick_ns as f64;
+            }
+        }
+    }
+
+    /// One tick of the blocking (Flink) or signal-based (Heron) personality.
+    fn tick_blocking(&mut self, stats: &mut TickStats, tick_ns: u64) {
+        let tick_s = tick_ns as f64 / 1e9;
+        let order = self.reverse_topo.clone();
+        for op in order {
+            if self.graph.is_source(op) {
+                self.source_emit(op, stats, tick_s);
+            } else {
+                let noise = self.noise_factor();
+                self.operator_process(op, tick_ns, noise);
+            }
+        }
+    }
+
+    /// One tick of the Timely personality: a shared worker pool is
+    /// water-filled across operators with pending work; queues are
+    /// unbounded and sources are never delayed.
+    fn tick_timely(&mut self, stats: &mut TickStats, tick_ns: u64) {
+        let tick_s = tick_ns as f64 / 1e9;
+        // Sources emit first and fully.
+        let source_ids: Vec<OperatorId> = self.sources.keys().copied().collect();
+        for op in source_ids {
+            self.source_emit(op, stats, tick_s);
+        }
+
+        // Fair-share allocation of `workers × tick` nanoseconds.
+        let ops: Vec<OperatorId> = self
+            .graph
+            .topological_order()
+            .filter(|op| !self.graph.is_source(*op))
+            .collect();
+        let mut budget = self.timely_workers as f64 * tick_ns as f64;
+        // Only work queued at tick start is eligible (one-tick pipeline
+        // latency per hop, matching the blocking personality).
+        let mut eligible: BTreeMap<OperatorId, f64> = ops
+            .iter()
+            .map(|&op| (op, self.states[&op].queued()))
+            .collect();
+        let noises: BTreeMap<OperatorId, f64> =
+            ops.iter().map(|&op| (op, self.noise_factor())).collect();
+
+        for _round in 0..4 {
+            let active: Vec<OperatorId> = ops
+                .iter()
+                .copied()
+                .filter(|op| eligible[op] > 1e-9)
+                .collect();
+            if active.is_empty() || budget <= 1.0 {
+                break;
+            }
+            let share = budget / active.len() as f64;
+            for op in active {
+                let p = self.timely_workers;
+                let profile = &self.profiles[&op];
+                let real_cost = self.effective_real_cost(profile, p) * noises[&op];
+                let want_records = eligible[&op];
+                let afford = share / real_cost;
+                let n = want_records.min(afford);
+                if n <= 1e-12 {
+                    continue;
+                }
+                let used_ns = n * real_cost;
+                budget -= used_ns;
+                *eligible.get_mut(&op).unwrap() -= n;
+                self.timely_drain(op, n, used_ns);
+            }
+        }
+        // Remaining budget is spinning time: in Timely, workers burn it
+        // polling empty queues. Spread it as input-wait across operators.
+        if budget > 0.0 {
+            let n_ops = ops.len().max(1) as f64;
+            for op in &ops {
+                let st = self.states.get_mut(op).expect("state");
+                let per_inst = budget / n_ops / st.acc.len().max(1) as f64;
+                for acc in &mut st.acc {
+                    acc.wait_input_ns += per_inst;
+                }
+            }
+        }
+    }
+
+    /// Effective instrumented cost per record including the instrumentation
+    /// overhead itself.
+    fn effective_instr_cost(&self, profile: &OperatorProfile, p: usize) -> f64 {
+        let mut c = profile.instrumented_cost_ns(p);
+        if self.cfg.instrumentation.enabled {
+            c += self.cfg.instrumentation.per_record_cost_ns;
+        }
+        c.max(1e-3)
+    }
+
+    /// Effective real (wall) cost per record.
+    fn effective_real_cost(&self, profile: &OperatorProfile, p: usize) -> f64 {
+        self.effective_instr_cost(profile, p) + profile.hidden_cost_ns(p)
+    }
+
+    /// Source emission for one tick (blocking personalities consult
+    /// downstream queue space; Timely never blocks).
+    fn source_emit(&mut self, op: OperatorId, stats: &mut TickStats, tick_s: f64) {
+        let spec = self.sources[&op].clone();
+        let offered = spec.schedule.rate_at(self.now_ns) * tick_s;
+        stats.offered.insert(op, offered);
+
+        let p = self.deployment.parallelism(op).max(1) as f64;
+        let tick_ns = self.cfg.tick_ns as f64;
+
+        let mut budget = offered + self.backlog.get(&op).copied().unwrap_or(0.0);
+
+        // Generation capacity of the source instances themselves.
+        if spec.generation_cost_ns > 0.0 {
+            let cap = p * tick_ns / spec.generation_cost_ns;
+            budget = budget.min(cap);
+        }
+
+        // Heron: a raised backpressure signal pauses the spout entirely.
+        if self.cfg.mode == EngineMode::Heron && self.heron_backpressure {
+            budget = 0.0;
+        }
+
+        // Blocking personalities: cannot emit past downstream queue space.
+        let mut emit = budget;
+        if self.cfg.mode != EngineMode::Timely {
+            for edge in self.graph.downstream_edges(op) {
+                let limit = self.states[&edge.to].accept_limit();
+                if edge.weight > 0.0 {
+                    emit = emit.min(limit / edge.weight);
+                }
+            }
+        }
+        emit = emit.max(0.0);
+
+        let edges: Vec<(OperatorId, f64)> = self
+            .graph
+            .downstream_edges(op)
+            .map(|e| (e.to, e.weight))
+            .collect();
+        for (to, weight) in edges {
+            let st = self.states.get_mut(&to).expect("state");
+            st.push_partitioned(self.now_ns, emit * weight);
+        }
+
+        // Backlog bookkeeping.
+        let leftover = (offered + self.backlog.get(&op).copied().unwrap_or(0.0)) - emit;
+        if spec.durable_backlog {
+            self.backlog.insert(op, leftover.max(0.0));
+        } else {
+            self.backlog.insert(op, 0.0);
+        }
+
+        stats.emitted.insert(op, emit);
+
+        // Source instance counters: emission is useful output work.
+        let st = self.states.get_mut(&op).expect("state");
+        let n_inst = st.acc.len().max(1) as f64;
+        let busy_per_inst = if spec.generation_cost_ns > 0.0 {
+            (emit / n_inst) * spec.generation_cost_ns
+        } else {
+            // Costless generators: model a nominal utilization proportional
+            // to achieved vs offered so rates stay defined.
+            let frac = if offered > 0.0 {
+                (emit / offered).min(1.0)
+            } else {
+                0.0
+            };
+            frac * tick_ns * 0.5
+        };
+        for acc in &mut st.acc {
+            acc.records_out += emit / n_inst;
+            acc.useful_ns += busy_per_inst.min(tick_ns);
+            acc.wait_output_ns += (tick_ns - busy_per_inst).max(0.0);
+        }
+    }
+
+    /// The output-space limit for an operator about to emit through
+    /// per-record output: total input records it may process such that
+    /// every downstream partition accepts its share.
+    fn output_space_limit(&self, op: OperatorId, selectivity: f64) -> f64 {
+        if selectivity <= 0.0 {
+            return f64::INFINITY;
+        }
+        let mut limit = f64::INFINITY;
+        for edge in self.graph.downstream_edges(op) {
+            let accept = self.states[&edge.to].accept_limit();
+            if edge.weight > 0.0 {
+                limit = limit.min(accept / (selectivity * edge.weight));
+            }
+        }
+        limit
+    }
+
+    /// Processes one non-source operator for one tick of the blocking
+    /// personalities.
+    fn operator_process(&mut self, op: OperatorId, tick_ns: u64, noise: f64) {
+        let p = self.deployment.parallelism(op).max(1);
+        let profile = self.profiles[&op].clone();
+        let instr_cost = self.effective_instr_cost(&profile, p) * noise;
+        let real_cost = self.effective_real_cost(&profile, p) * noise;
+        let cap_inst = tick_ns as f64 / real_cost;
+
+        // Per-instance desired drains from their own partitions.
+        let mut takes: Vec<f64> = self.states[&op]
+            .queues
+            .iter()
+            .map(|q| q.len().min(cap_inst))
+            .collect();
+        let want_total: f64 = takes.iter().sum();
+
+        // Output-space constraint (windowed operators buffer internally, so
+        // only their flush is space-limited).
+        let sel = profile.output.average_selectivity();
+        let mut out_limited = false;
+        if matches!(profile.output, OutputMode::PerRecord { .. }) {
+            let limit = self.output_space_limit(op, sel);
+            if want_total > limit {
+                let factor = if want_total > 0.0 {
+                    limit / want_total
+                } else {
+                    0.0
+                };
+                for t in &mut takes {
+                    *t *= factor;
+                }
+                out_limited = true;
+            }
+        }
+
+        // Drain each partition and route the output.
+        let is_sink = self.graph.is_sink(op);
+        let tick_end = self.now_ns + self.cfg.tick_ns;
+        let edges: Vec<(OperatorId, f64)> = self
+            .graph
+            .downstream_edges(op)
+            .map(|e| (e.to, e.weight))
+            .collect();
+
+        let mut out_total = 0.0f64;
+        let mut win_buf = 0.0f64;
+        let mut win_oldest: Option<u64> = None;
+        let mut drained_spans: Vec<Span> = Vec::new();
+        {
+            let st = self.states.get_mut(&op).expect("state");
+            for (k, take) in takes.iter().enumerate() {
+                if *take <= 0.0 {
+                    continue;
+                }
+                let spans = st.queues[k].pop(*take);
+                drained_spans.extend(spans);
+            }
+        }
+        match profile.output {
+            OutputMode::PerRecord { selectivity } => {
+                for span in &drained_spans {
+                    if is_sink {
+                        self.latency
+                            .record(tick_end.saturating_sub(span.emitted_ns), span.records);
+                    }
+                    let out = span.records * selectivity;
+                    out_total += out;
+                    for &(to, weight) in &edges {
+                        let st = self.states.get_mut(&to).expect("state");
+                        st.push_partitioned(span.emitted_ns, out * weight);
+                    }
+                }
+            }
+            OutputMode::Windowed { selectivity, .. } => {
+                for span in &drained_spans {
+                    win_buf += span.records * selectivity;
+                    win_oldest =
+                        Some(win_oldest.map_or(span.emitted_ns, |o: u64| o.min(span.emitted_ns)));
+                }
+            }
+        }
+
+        // Instance accounting: instance k processed takes[k].
+        {
+            let st = self.states.get_mut(&op).expect("state");
+            let n_out_share = if st.acc.is_empty() {
+                0.0
+            } else {
+                out_total / st.acc.len() as f64
+            };
+            for (k, acc) in st.acc.iter_mut().enumerate() {
+                let share = takes.get(k).copied().unwrap_or(0.0);
+                let busy = (share * instr_cost).min(tick_ns as f64);
+                let hidden = share * (real_cost - instr_cost);
+                let wait = (tick_ns as f64 - busy - hidden).max(0.0);
+                acc.records_in += share;
+                acc.records_out += n_out_share;
+                acc.useful_ns += busy;
+                if out_limited {
+                    acc.wait_output_ns += wait;
+                } else {
+                    acc.wait_input_ns += wait;
+                }
+            }
+            if win_buf > 0.0 {
+                st.window_pending += win_buf;
+                st.window_pending_oldest = match (st.window_pending_oldest, win_oldest) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+
+        self.maybe_fire_window(op);
+    }
+
+    /// Timely drain path: `n` records off the operator's shared queue,
+    /// `used_ns` of worker time spent.
+    fn timely_drain(&mut self, op: OperatorId, n: f64, used_ns: f64) {
+        let profile = self.profiles[&op].clone();
+        let spans = {
+            let st = self.states.get_mut(&op).expect("state");
+            st.queues.first_mut().map(|q| q.pop(n)).unwrap_or_default()
+        };
+
+        // Busy time spread over worker-instances; only the instrumented
+        // fraction counts as useful.
+        let instr_fraction = {
+            let p = self.timely_workers;
+            self.effective_instr_cost(&profile, p) / self.effective_real_cost(&profile, p)
+        };
+        {
+            let st = self.states.get_mut(&op).expect("state");
+            let w = st.acc.len().max(1) as f64;
+            let drained: f64 = spans.iter().map(|s| s.records).sum();
+            for acc in &mut st.acc {
+                acc.records_in += drained / w;
+                acc.useful_ns += used_ns * instr_fraction / w;
+            }
+        }
+
+        let is_sink = self.graph.is_sink(op);
+        let tick_end = self.now_ns + self.cfg.tick_ns;
+        let edges: Vec<(OperatorId, f64)> = self
+            .graph
+            .downstream_edges(op)
+            .map(|e| (e.to, e.weight))
+            .collect();
+
+        match profile.output {
+            OutputMode::PerRecord { selectivity } => {
+                let mut out_total = 0.0;
+                for span in &spans {
+                    if is_sink {
+                        self.latency
+                            .record(tick_end.saturating_sub(span.emitted_ns), span.records);
+                    }
+                    let out = span.records * selectivity;
+                    out_total += out;
+                    for &(to, weight) in &edges {
+                        let st = self.states.get_mut(&to).expect("state");
+                        st.push_partitioned(span.emitted_ns, out * weight);
+                    }
+                }
+                let st = self.states.get_mut(&op).expect("state");
+                let w = st.acc.len().max(1) as f64;
+                for acc in &mut st.acc {
+                    acc.records_out += out_total / w;
+                }
+            }
+            OutputMode::Windowed { selectivity, .. } => {
+                let st = self.states.get_mut(&op).expect("state");
+                for span in &spans {
+                    st.window_pending += span.records * selectivity;
+                    st.window_pending_oldest = Some(
+                        st.window_pending_oldest
+                            .map_or(span.emitted_ns, |o| o.min(span.emitted_ns)),
+                    );
+                }
+            }
+        }
+
+        self.maybe_fire_window(op);
+    }
+
+    /// Fires a windowed operator's buffered output when its period elapses.
+    fn maybe_fire_window(&mut self, op: OperatorId) {
+        let Some(period) = self.window_period(op) else {
+            return;
+        };
+        let tick_end = self.now_ns + self.cfg.tick_ns;
+        let (fire, pending, oldest) = {
+            let st = self.states.get_mut(&op).expect("state");
+            if st.next_fire_ns == u64::MAX {
+                st.next_fire_ns = tick_end + period;
+            }
+            if tick_end >= st.next_fire_ns {
+                st.next_fire_ns += period;
+                let p = st.window_pending;
+                let o = st.window_pending_oldest;
+                st.window_pending = 0.0;
+                st.window_pending_oldest = None;
+                (true, p, o)
+            } else {
+                (false, 0.0, None)
+            }
+        };
+        if !fire || pending <= 0.0 {
+            return;
+        }
+        let tag = oldest.unwrap_or(self.now_ns);
+        let n_inst = self.states[&op].acc.len().max(1) as f64;
+        if self.graph.is_sink(op) {
+            self.latency.record(tick_end.saturating_sub(tag), pending);
+            let st = self.states.get_mut(&op).expect("state");
+            for acc in &mut st.acc {
+                acc.records_out += pending / n_inst;
+            }
+            return;
+        }
+        let edges: Vec<(OperatorId, f64)> = self
+            .graph
+            .downstream_edges(op)
+            .map(|e| (e.to, e.weight))
+            .collect();
+        let mut spilled = 0.0f64;
+        for (to, weight) in &edges {
+            let st = self.states.get_mut(to).expect("state");
+            // Window flushes are bursts: a bounded receiving queue may not
+            // absorb everything; the spill stays pending for the next tick.
+            let accept = st.accept_limit();
+            let send = (pending * weight).min(accept);
+            st.push_partitioned(tag, send);
+            spilled = spilled.max(pending - send / weight.max(1e-12));
+        }
+        if spilled > 0.0 {
+            let st = self.states.get_mut(&op).expect("state");
+            st.window_pending += spilled;
+            st.window_pending_oldest = Some(st.window_pending_oldest.map_or(tag, |o| o.min(tag)));
+            // Retry the remainder at the next tick rather than next period.
+            st.next_fire_ns = tick_end + self.cfg.tick_ns;
+        }
+        let emitted = pending - spilled;
+        if emitted > 0.0 {
+            let st = self.states.get_mut(&op).expect("state");
+            for acc in &mut st.acc {
+                acc.records_out += emitted / n_inst;
+            }
+        }
+    }
+
+    /// Closes the instrumentation window: per-instance metrics since the
+    /// previous snapshot, plus the offered rate of every source.
+    ///
+    /// Record counts are rounded to integers; useful time is scaled by the
+    /// same rounding factor so the *measured true rates* equal the fluid
+    /// model's exact rates (no quantization bias at ceiling boundaries).
+    pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+        let window_ns = self.now_ns - self.snapshot_start_ns;
+        let mut snap = MetricsSnapshot::new();
+        for (op, st) in self.states.iter_mut() {
+            let is_source = self.graph.is_source(*op);
+            let instances: Vec<InstanceMetrics> = st
+                .acc
+                .iter()
+                .map(|acc| {
+                    let dominant = if is_source {
+                        acc.records_out
+                    } else {
+                        acc.records_in
+                    };
+                    let rounded = dominant.round();
+                    // Scale every field by the dominant count's rounding
+                    // factor so measured rates *and selectivity* equal the
+                    // fluid model's exact values.
+                    let factor = if dominant > 0.0 {
+                        rounded / dominant
+                    } else {
+                        0.0
+                    };
+                    // Clamp sequentially so `useful + waits <= window` (the
+                    // scaling factor can push useful a hair past the exact
+                    // complement of the accumulated waits).
+                    let useful_ns = ((acc.useful_ns * factor).round() as u64).min(window_ns);
+                    let wait_input_ns =
+                        (acc.wait_input_ns.round() as u64).min(window_ns - useful_ns);
+                    let wait_output_ns = (acc.wait_output_ns.round() as u64)
+                        .min(window_ns - useful_ns - wait_input_ns);
+                    InstanceMetrics {
+                        records_in: (acc.records_in * factor).round() as u64,
+                        records_out: (acc.records_out * factor).round() as u64,
+                        useful_ns,
+                        window_ns,
+                        wait_input_ns,
+                        wait_output_ns,
+                    }
+                })
+                .collect();
+            snap.insert_instances(*op, instances);
+            st.acc = vec![InstanceAcc::default(); st.acc.len()];
+        }
+        for (&op, spec) in &self.sources {
+            snap.set_source_rate(op, spec.schedule.rate_at(self.now_ns));
+        }
+        self.snapshot_start_ns = self.now_ns;
+        snap
+    }
+
+    /// Runs the engine for `duration_ns`, ignoring events.
+    pub fn run_for(&mut self, duration_ns: u64) {
+        let end = self.now_ns + duration_ns;
+        while self.now_ns < end {
+            let _ = self.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::RateSchedule;
+    use ds2_core::graph::GraphBuilder;
+
+    fn chain(caps: &[(f64, f64)]) -> (LogicalGraph, Vec<OperatorId>) {
+        let mut b = GraphBuilder::new();
+        let src = b.operator("src");
+        let mut ids = vec![src];
+        for (i, _) in caps.iter().enumerate() {
+            let op = b.operator(format!("op{i}"));
+            b.connect(*ids.last().unwrap(), op);
+            ids.push(op);
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    fn engine_with(
+        caps: &[(f64, f64)],
+        rate: f64,
+        parallelism: &[usize],
+        cfg: EngineConfig,
+    ) -> (FluidEngine, Vec<OperatorId>) {
+        let (graph, ids) = chain(caps);
+        let mut profiles = ProfileMap::new();
+        for (i, &(cap, sel)) in caps.iter().enumerate() {
+            profiles.insert(ids[i + 1], OperatorProfile::with_capacity(cap, sel));
+        }
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(rate));
+        let mut d = Deployment::uniform(&graph, 1);
+        for (i, &p) in parallelism.iter().enumerate() {
+            d.set(ids[i], p);
+        }
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            ..cfg
+        };
+        let e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        (e, ids)
+    }
+
+    #[test]
+    fn wellprovisioned_chain_keeps_up() {
+        // Source 1000/s, op capacity 2000/s: everything flows, queue small.
+        let (mut e, ids) =
+            engine_with(&[(2_000.0, 1.0)], 1_000.0, &[1, 1], EngineConfig::default());
+        e.run_for(10_000_000_000);
+        assert!(e.queue_len(ids[1]) < 100.0);
+        let snap = e.collect_snapshot();
+        let m = snap.operator(ids[1]).unwrap();
+        let rate = m.aggregate_observed_processing_rate().unwrap();
+        assert!((rate - 1_000.0).abs() < 50.0, "observed {rate}");
+        // True rate reveals the 2000/s capacity despite only 1000/s load.
+        let true_rate = m.aggregate_true_processing_rate().unwrap();
+        assert!((true_rate - 2_000.0).abs() < 100.0, "true {true_rate}");
+    }
+
+    #[test]
+    fn bottleneck_limits_observed_source_rate_flink() {
+        // Source 1000/s, op capacity 400/s: Flink backpressure throttles the
+        // source to ~400/s once queues fill.
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 1], EngineConfig::default());
+        e.run_for(60_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let src = snap.operator(ids[0]).unwrap();
+        let obs = src.aggregate_observed_output_rate().unwrap();
+        assert!((obs - 400.0).abs() < 40.0, "observed source rate {obs}");
+        // The bottleneck's true processing rate equals its capacity.
+        let m = snap.operator(ids[1]).unwrap();
+        let tr = m.aggregate_true_processing_rate().unwrap();
+        assert!((tr - 400.0).abs() < 40.0, "true {tr}");
+    }
+
+    #[test]
+    fn downstream_of_bottleneck_sees_starved_input() {
+        // src 1000/s -> a(cap 400) -> b(cap 2000): b only sees 400/s but its
+        // true rate still measures ~2000/s.
+        let (mut e, ids) = engine_with(
+            &[(400.0, 1.0), (2_000.0, 1.0)],
+            1_000.0,
+            &[1, 1, 1],
+            EngineConfig::default(),
+        );
+        e.run_for(60_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let m = snap.operator(ids[2]).unwrap();
+        let obs = m.aggregate_observed_processing_rate().unwrap();
+        let true_rate = m.aggregate_true_processing_rate().unwrap();
+        assert!((obs - 400.0).abs() < 40.0, "observed {obs}");
+        assert!((true_rate - 2_000.0).abs() < 200.0, "true {true_rate}");
+    }
+
+    #[test]
+    fn parallelism_scales_throughput() {
+        // op capacity 400/s but 3 instances: sustains 1000/s.
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 3], EngineConfig::default());
+        e.run_for(20_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let src = snap.operator(ids[0]).unwrap();
+        let obs = src.aggregate_observed_output_rate().unwrap();
+        assert!((obs - 1_000.0).abs() < 50.0, "observed source rate {obs}");
+    }
+
+    #[test]
+    fn selectivity_multiplies_downstream_load() {
+        // src 100/s -> a(cap 1000, sel 5) -> b(cap 300): b needs 500/s but
+        // caps at 300/s, so backpressure throttles the source to 60/s.
+        let cfg = EngineConfig {
+            per_instance_queue: 500.0,
+            ..Default::default()
+        };
+        let (mut e, ids) = engine_with(&[(1_000.0, 5.0), (300.0, 1.0)], 100.0, &[1, 1, 1], cfg);
+        e.run_for(120_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(20_000_000_000);
+        let snap = e.collect_snapshot();
+        let src = snap.operator(ids[0]).unwrap();
+        let obs = src.aggregate_observed_output_rate().unwrap();
+        assert!((obs - 60.0).abs() < 10.0, "observed source rate {obs}");
+    }
+
+    #[test]
+    fn heron_spout_pausing_oscillates() {
+        // Heron with small queues for test speed: the spout pauses when the
+        // bottleneck queue crosses the high watermark and resumes below the
+        // low watermark, producing on/off source behaviour.
+        let cfg = EngineConfig {
+            mode: EngineMode::Heron,
+            heron_per_instance_queue: 2_000.0,
+            ..Default::default()
+        };
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        let mut paused_ticks = 0;
+        let mut running_ticks = 0;
+        for _ in 0..6_000 {
+            e.tick();
+            if e.backpressure_active() {
+                paused_ticks += 1;
+            } else {
+                running_ticks += 1;
+            }
+        }
+        assert!(paused_ticks > 100, "spout never paused");
+        assert!(running_ticks > 100, "spout never resumed");
+        // Long-run throughput still matches the bottleneck capacity.
+        let snap = e.collect_snapshot();
+        let m = snap.operator(ids[1]).unwrap();
+        let obs = m.aggregate_observed_processing_rate().unwrap();
+        assert!((obs - 400.0).abs() < 60.0, "observed {obs}");
+    }
+
+    #[test]
+    fn timely_queues_grow_without_backpressure() {
+        let cfg = EngineConfig {
+            mode: EngineMode::Timely,
+            timely_workers: 1,
+            ..Default::default()
+        };
+        // op needs 1000/s * 2.5ms = 2.5 workers; with 1 worker queues grow.
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        e.run_for(10_000_000_000);
+        assert!(
+            e.queue_len(ids[1]) > 4_000.0,
+            "queue should grow unboundedly"
+        );
+        // Source was never throttled.
+        let snap = e.collect_snapshot();
+        let src = snap.operator(ids[0]).unwrap();
+        let obs = src.aggregate_observed_output_rate().unwrap();
+        assert!(
+            (obs - 1_000.0).abs() < 10.0,
+            "source must not be delayed, got {obs}"
+        );
+    }
+
+    #[test]
+    fn timely_enough_workers_keep_up() {
+        let cfg = EngineConfig {
+            mode: EngineMode::Timely,
+            timely_workers: 4,
+            ..Default::default()
+        };
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        e.run_for(10_000_000_000);
+        assert!(e.queue_len(ids[1]) < 100.0);
+        // Epochs complete promptly.
+        assert!(e.epochs().completed().len() >= 8);
+        let r = e.epochs().recorder();
+        assert!(r.quantile(0.9).unwrap() < 1_000_000_000);
+    }
+
+    #[test]
+    fn rescale_halts_then_applies() {
+        let cfg = EngineConfig {
+            reconfig_latency_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        let (mut e, ids) = engine_with(&[(400.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        e.run_for(2_000_000_000);
+        let mut plan = e.current_deployment();
+        plan.set(ids[1], 3);
+        e.request_rescale(plan.clone());
+        assert!(e.is_halted());
+        let mut deployed = None;
+        for _ in 0..200 {
+            let ev = e.tick();
+            if ev.deployed.is_some() {
+                deployed = ev.deployed;
+                break;
+            }
+        }
+        let d = deployed.expect("deploy completes");
+        assert_eq!(d.parallelism(ids[1]), 3);
+        assert!(!e.is_halted());
+        assert_eq!(e.current_deployment().parallelism(ids[1]), 3);
+    }
+
+    #[test]
+    fn rescale_preserves_queued_records() {
+        let cfg = EngineConfig {
+            reconfig_latency_ns: 500_000_000,
+            ..Default::default()
+        };
+        // Bottleneck builds a queue, then we rescale: queued records must
+        // survive repartitioning.
+        let (mut e, ids) = engine_with(&[(100.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        e.run_for(5_000_000_000);
+        let before = e.queue_len(ids[1]);
+        assert!(before > 1_000.0);
+        let mut plan = e.current_deployment();
+        plan.set(ids[1], 4);
+        e.request_rescale(plan);
+        for _ in 0..100 {
+            if e.tick().deployed.is_some() {
+                break;
+            }
+        }
+        let after = e.queue_len(ids[1]);
+        assert!(
+            (after - before).abs() < before * 0.05,
+            "queued records lost: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn durable_source_accumulates_backlog_during_halt() {
+        let (graph, ids) = chain(&[(4_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(ids[1], OperatorProfile::with_capacity(4_000.0, 1.0));
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::durable(1_000.0));
+        let d = Deployment::uniform(&graph, 1);
+        let cfg = EngineConfig {
+            reconfig_latency_ns: 2_000_000_000,
+            instrumentation: InstrumentationConfig::disabled(),
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d.clone(), cfg);
+        e.run_for(1_000_000_000);
+        e.request_rescale(d);
+        // During the 2 s halt, 2000 records accumulate.
+        e.run_for(1_900_000_000);
+        assert!(e.backlog(ids[0]) > 1_500.0);
+        e.run_for(5_000_000_000);
+        // Backlog drains once the job is back up (capacity 4000 > 1000).
+        assert!(e.backlog(ids[0]) < 100.0, "backlog {}", e.backlog(ids[0]));
+    }
+
+    #[test]
+    fn sink_latency_recorded() {
+        let (mut e, _) = engine_with(&[(2_000.0, 1.0)], 1_000.0, &[1, 1], EngineConfig::default());
+        e.run_for(5_000_000_000);
+        assert!(!e.latency().is_empty());
+        // Well-provisioned: latency within a couple of ticks.
+        let p99 = e.latency().quantile(0.99).unwrap();
+        assert!(p99 <= 5 * e.config().tick_ns, "p99 {p99}");
+    }
+
+    #[test]
+    fn underprovisioned_latency_grows() {
+        let (mut e, _) = engine_with(&[(500.0, 1.0)], 1_000.0, &[1, 1], EngineConfig::default());
+        e.run_for(30_000_000_000);
+        let p50 = e.latency().median().unwrap();
+        assert!(
+            p50 > 1_000_000_000,
+            "median latency should exceed 1 s, got {p50}"
+        );
+    }
+
+    #[test]
+    fn skew_limits_effective_capacity() {
+        // 4 instances of cap 300 with 50% hot share: effective 600/s, below
+        // the 1000/s offered. The hot partition's bounded queue fills and
+        // throttles the source even though the cold instances idle.
+        let (graph, ids) = chain(&[(300.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(300.0, 1.0).with_skew(0.5),
+        );
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(1_000.0));
+        let mut d = Deployment::uniform(&graph, 1);
+        d.set(ids[1], 4);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            per_instance_queue: 1_000.0,
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        e.run_for(60_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let src = snap.operator(ids[0]).unwrap();
+        let obs = src.aggregate_observed_output_rate().unwrap();
+        assert!((obs - 600.0).abs() < 60.0, "skew-limited rate {obs}");
+        // The hot instance is saturated; the others are not.
+        let m = snap.operator(ids[1]).unwrap();
+        let hot_util = m.instances[0].utilization();
+        let cold_util = m.instances[1].utilization();
+        assert!(hot_util > 0.9, "hot {hot_util}");
+        assert!(cold_util < 0.5, "cold {cold_util}");
+    }
+
+    #[test]
+    fn windowed_operator_bursts() {
+        // Windowed operator with 1 s period: output arrives in bursts.
+        let (graph, ids) = chain(&[(10_000.0, 1.0), (10_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(10_000.0, 1.0).windowed(1_000_000_000),
+        );
+        profiles.insert(ids[2], OperatorProfile::with_capacity(10_000.0, 1.0));
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(1_000.0));
+        let d = Deployment::uniform(&graph, 1);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        let mut max_push = 0.0f64;
+        let mut nonzero_ticks = 0;
+        for _ in 0..500 {
+            let before = e.queue_len(ids[2]);
+            e.tick();
+            let after = e.queue_len(ids[2]);
+            let delta = after - before;
+            if delta > 1.0 {
+                nonzero_ticks += 1;
+                max_push = max_push.max(delta);
+            }
+        }
+        // Bursts: few pushes, each carrying ~1 s of records.
+        assert!(
+            nonzero_ticks <= 10,
+            "expected bursts, got {nonzero_ticks} push ticks"
+        );
+        assert!(max_push > 500.0, "burst size {max_push}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let cfg = EngineConfig {
+            service_noise: 0.1,
+            ..Default::default()
+        };
+        let run = |cfg: EngineConfig| {
+            let (mut e, ids) = engine_with(&[(800.0, 1.0)], 1_000.0, &[1, 1], cfg);
+            e.run_for(10_000_000_000);
+            (e.queue_len(ids[1]), e.latency().median())
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn phased_schedule_changes_load() {
+        let (graph, ids) = chain(&[(3_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(ids[1], OperatorProfile::with_capacity(3_000.0, 1.0));
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            ids[0],
+            SourceSpec::constant(0.0).with_schedule(RateSchedule::steps(vec![
+                (0, 2_000.0),
+                (5_000_000_000, 500.0),
+            ])),
+        );
+        let d = Deployment::uniform(&graph, 1);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        e.run_for(5_000_000_000);
+        let snap = e.collect_snapshot();
+        let obs1 = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        e.run_for(5_000_000_000);
+        let snap = e.collect_snapshot();
+        let obs2 = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((obs1 - 2_000.0).abs() < 100.0);
+        assert!((obs2 - 500.0).abs() < 50.0);
+        assert_eq!(snap.source_rates[&ids[0]], 500.0);
+    }
+
+    #[test]
+    fn hidden_overhead_invisible_to_instrumentation() {
+        // Real capacity 500/s (2ms real cost: 1ms instrumented + 1ms
+        // hidden); instrumentation believes 1000/s.
+        let (graph, ids) = chain(&[(1_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(1_000.0, 1.0)
+                .with_hidden(1_000_000.0, crate::profile::ScalingCurve::Linear),
+        );
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(2_000.0));
+        let d = Deployment::uniform(&graph, 1);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        e.run_for(30_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let m = snap.operator(ids[1]).unwrap();
+        let true_rate = m.aggregate_true_processing_rate().unwrap();
+        let obs = m.aggregate_observed_processing_rate().unwrap();
+        // Throughput is 500/s but instrumentation-measured capacity ~1000/s.
+        assert!((obs - 500.0).abs() < 50.0, "observed {obs}");
+        assert!((true_rate - 1_000.0).abs() < 100.0, "true {true_rate}");
+    }
+
+    #[test]
+    fn measured_capacity_has_no_quantization_bias() {
+        // Capacity exactly 100/s, load 1000/s over 30 instances: the
+        // snapshot's rounding must not bias the measured rate below 100,
+        // which would flip ceil(1000/100) from 10 to 11.
+        let (mut e, ids) = engine_with(&[(100.0, 1.0)], 1_000.0, &[1, 30], EngineConfig::default());
+        e.run_for(10_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let m = snap.operator(ids[1]).unwrap();
+        let avg = m.average_true_processing_rate().unwrap();
+        let requirement = (1_000.0 / avg - 1e-9).ceil() as usize;
+        assert_eq!(requirement, 10, "avg capacity measured {avg}");
+    }
+}

@@ -1,0 +1,430 @@
+//! The closed control loop: engine + metrics + controller (paper Fig. 5).
+//!
+//! Once per policy interval the harness closes the instrumentation window,
+//! hands the snapshot to the [`ScalingController`], and applies any
+//! requested rescale through the engine's redeployment mechanism. All paper
+//! experiments (Figures 1, 6, 7 and Tables 3–4) are runs of this loop with
+//! different controllers, engine personalities and workloads.
+
+use std::collections::BTreeMap;
+
+use ds2_core::controller::{ControllerVerdict, ScalingController};
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::OperatorId;
+
+use crate::engine::FluidEngine;
+use crate::latency::LatencyRecorder;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Policy interval: metrics window length between controller calls.
+    pub policy_interval_ns: u64,
+    /// Total simulated run time.
+    pub run_duration_ns: u64,
+    /// Timeline sampling resolution (offered/observed rates etc.).
+    pub timeline_resolution_ns: u64,
+    /// Timely mode: convert per-operator plans into a global worker count
+    /// (the §4.3 summation rule) and rescale the worker pool instead.
+    pub timely: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            policy_interval_ns: 10_000_000_000,
+            run_duration_ns: 600_000_000_000,
+            timeline_resolution_ns: 1_000_000_000,
+            timely: false,
+        }
+    }
+}
+
+/// One timeline sample.
+#[derive(Debug, Clone)]
+pub struct TimelinePoint {
+    /// Sample time (end of the bucket), nanoseconds.
+    pub t_ns: u64,
+    /// Total offered source rate over the bucket, records/s.
+    pub offered_rate: f64,
+    /// Total achieved (emitted) source rate over the bucket, records/s.
+    pub observed_rate: f64,
+    /// Parallelism per operator at sample time.
+    pub parallelism: BTreeMap<OperatorId, usize>,
+    /// Timely worker-pool size at sample time.
+    pub timely_workers: usize,
+    /// Whether Heron backpressure was active at sample time.
+    pub backpressure: bool,
+    /// Whether the job was down (redeploying) at sample time.
+    pub halted: bool,
+    /// Total queued records across operators.
+    pub total_queued: f64,
+}
+
+/// One applied scaling decision.
+#[derive(Debug, Clone)]
+pub struct DecisionPoint {
+    /// Time the controller issued the command.
+    pub at_ns: u64,
+    /// The plan it requested.
+    pub plan: Deployment,
+    /// The worker count it mapped to (Timely mode only).
+    pub timely_workers: Option<usize>,
+}
+
+/// The outcome of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Periodic samples.
+    pub timeline: Vec<TimelinePoint>,
+    /// Scaling commands applied, in order.
+    pub decisions: Vec<DecisionPoint>,
+    /// Deployment at the end of the run.
+    pub final_deployment: Deployment,
+    /// Worker-pool size at the end of the run (Timely mode).
+    pub final_workers: usize,
+    /// Record latency distribution across the whole run.
+    pub latency: LatencyRecorder,
+    /// Completed epochs `(index, latency_ns)`.
+    pub epochs: Vec<(u64, u64)>,
+}
+
+impl RunResult {
+    /// Time of the last scaling decision, if any — after it the
+    /// configuration was stable to the end of the run.
+    pub fn last_decision_ns(&self) -> Option<u64> {
+        self.decisions.last().map(|d| d.at_ns)
+    }
+
+    /// Parallelism sequence of one operator: initial value plus the value
+    /// after each decision.
+    pub fn parallelism_steps(&self, op: OperatorId, initial: usize) -> Vec<usize> {
+        let mut steps = vec![initial];
+        for d in &self.decisions {
+            let p = d.plan.parallelism(op);
+            if *steps.last().unwrap() != p {
+                steps.push(p);
+            }
+        }
+        steps
+    }
+
+    /// Mean observed/offered ratio over the last `n` timeline points.
+    pub fn final_achieved_ratio(&self, n: usize) -> f64 {
+        let pts: Vec<&TimelinePoint> = self.timeline.iter().rev().take(n).collect();
+        let offered: f64 = pts.iter().map(|p| p.offered_rate).sum();
+        let observed: f64 = pts.iter().map(|p| p.observed_rate).sum();
+        if offered <= 0.0 {
+            1.0
+        } else {
+            observed / offered
+        }
+    }
+}
+
+/// Drives a [`ScalingController`] against a [`FluidEngine`].
+pub struct ClosedLoop<C: ScalingController> {
+    engine: FluidEngine,
+    controller: C,
+    cfg: HarnessConfig,
+}
+
+impl<C: ScalingController> ClosedLoop<C> {
+    /// Creates a closed loop.
+    pub fn new(engine: FluidEngine, controller: C, cfg: HarnessConfig) -> Self {
+        Self {
+            engine,
+            controller,
+            cfg,
+        }
+    }
+
+    /// Read access to the engine (e.g. for post-run inspection).
+    pub fn engine(&self) -> &FluidEngine {
+        &self.engine
+    }
+
+    /// Read access to the controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// Runs the loop for the configured duration and reports the outcome.
+    pub fn run(&mut self) -> RunResult {
+        let mut timeline = Vec::new();
+        let mut decisions = Vec::new();
+
+        let start = self.engine.now_ns();
+        let end = start + self.cfg.run_duration_ns;
+        let mut next_policy = start + self.cfg.policy_interval_ns;
+        let mut next_sample = start + self.cfg.timeline_resolution_ns;
+        let mut bucket_offered = 0.0f64;
+        let mut bucket_emitted = 0.0f64;
+        let mut bucket_start = start;
+
+        while self.engine.now_ns() < end {
+            let events = self.engine.tick();
+            let stats = self.engine.last_tick().clone();
+            bucket_offered += stats.offered.values().sum::<f64>();
+            bucket_emitted += stats.emitted.values().sum::<f64>();
+
+            if let Some(deployment) = events.deployed {
+                self.controller
+                    .on_deployed(self.engine.now_ns(), &deployment);
+                // Metrics accumulated while the job was down describe no
+                // useful execution: drop them so the first post-deploy
+                // window is clean.
+                let _ = self.engine.collect_snapshot();
+                next_policy = self.engine.now_ns() + self.cfg.policy_interval_ns;
+            }
+
+            let now = self.engine.now_ns();
+
+            if now >= next_sample {
+                let bucket_s = (now - bucket_start) as f64 / 1e9;
+                let parallelism = self.engine.current_deployment().as_map().clone();
+                let total_queued = self
+                    .engine
+                    .graph()
+                    .operators()
+                    .map(|op| self.engine.queue_len(op))
+                    .sum();
+                timeline.push(TimelinePoint {
+                    t_ns: now,
+                    offered_rate: if bucket_s > 0.0 {
+                        bucket_offered / bucket_s
+                    } else {
+                        0.0
+                    },
+                    observed_rate: if bucket_s > 0.0 {
+                        bucket_emitted / bucket_s
+                    } else {
+                        0.0
+                    },
+                    parallelism,
+                    timely_workers: self.engine.timely_workers(),
+                    backpressure: stats.backpressure,
+                    halted: stats.halted,
+                    total_queued,
+                });
+                bucket_offered = 0.0;
+                bucket_emitted = 0.0;
+                bucket_start = now;
+                next_sample += self.cfg.timeline_resolution_ns;
+            }
+
+            if now >= next_policy && !self.engine.is_halted() {
+                let snapshot = self.engine.collect_snapshot();
+                let current = self.engine.current_deployment();
+                match self.controller.on_metrics(now, &snapshot, &current) {
+                    ControllerVerdict::NoAction => {}
+                    ControllerVerdict::Rescale(plan) => {
+                        if self.cfg.timely {
+                            let workers: usize = self
+                                .engine
+                                .graph()
+                                .operators()
+                                .filter(|op| !self.engine.graph().is_source(*op))
+                                .map(|op| plan.parallelism(op))
+                                .sum::<usize>()
+                                .max(1);
+                            if workers == self.engine.timely_workers() {
+                                // No effective change: acknowledge without
+                                // a redeploy so the controller can proceed.
+                                self.controller.on_deployed(now, &current);
+                            } else {
+                                decisions.push(DecisionPoint {
+                                    at_ns: now,
+                                    plan: plan.clone(),
+                                    timely_workers: Some(workers),
+                                });
+                                self.engine.request_worker_rescale(workers);
+                            }
+                        } else if plan == current {
+                            self.controller.on_deployed(now, &current);
+                        } else {
+                            decisions.push(DecisionPoint {
+                                at_ns: now,
+                                plan: plan.clone(),
+                                timely_workers: None,
+                            });
+                            self.engine.request_rescale(plan);
+                        }
+                    }
+                }
+                next_policy = now + self.cfg.policy_interval_ns;
+            }
+        }
+
+        RunResult {
+            timeline,
+            decisions,
+            final_deployment: self.engine.current_deployment(),
+            final_workers: self.engine.timely_workers(),
+            latency: self.engine.latency().clone(),
+            epochs: self.engine.epochs().completed().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, EngineMode, InstrumentationConfig};
+    use crate::profile::{OperatorProfile, ProfileMap};
+    use crate::source::SourceSpec;
+    use ds2_core::graph::GraphBuilder;
+    use ds2_core::manager::{ManagerConfig, ScalingManager};
+    use ds2_core::policy::PolicyConfig;
+
+    fn wordcount_engine(
+        rate: f64,
+        fm_cap: f64,
+        cnt_cap: f64,
+        init: (usize, usize),
+        cfg: EngineConfig,
+    ) -> (FluidEngine, OperatorId, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        let src = b.operator("source");
+        let fm = b.operator("flat_map");
+        let cnt = b.operator("count");
+        b.connect(src, fm);
+        b.connect(fm, cnt);
+        let graph = b.build().unwrap();
+        let mut profiles = ProfileMap::new();
+        profiles.insert(fm, OperatorProfile::with_capacity(fm_cap, 2.0));
+        profiles.insert(cnt, OperatorProfile::with_capacity(cnt_cap, 1.0));
+        let mut sources = BTreeMap::new();
+        sources.insert(src, SourceSpec::constant(rate));
+        let mut d = Deployment::uniform(&graph, 1);
+        d.set(fm, init.0);
+        d.set(cnt, init.1);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig {
+                enabled: false,
+                per_record_cost_ns: 0.0,
+            },
+            ..cfg
+        };
+        let engine = FluidEngine::new(graph, profiles, sources, d, cfg);
+        (engine, src, fm, cnt)
+    }
+
+    /// End-to-end: DS2 over the harness scales an under-provisioned
+    /// word count to the optimal configuration in one decision.
+    #[test]
+    fn ds2_scales_wordcount_in_one_decision() {
+        let (engine, _src, fm, cnt) = wordcount_engine(
+            1_000.0,
+            100.0,
+            500.0,
+            (1, 1),
+            EngineConfig {
+                reconfig_latency_ns: 5_000_000_000,
+                ..Default::default()
+            },
+        );
+        let manager = ScalingManager::new(
+            engine.graph().clone(),
+            ManagerConfig {
+                warmup_intervals: 1,
+                ..Default::default()
+            },
+        );
+        let mut the_loop = ClosedLoop::new(
+            engine,
+            manager,
+            HarnessConfig {
+                policy_interval_ns: 10_000_000_000,
+                run_duration_ns: 120_000_000_000,
+                ..Default::default()
+            },
+        );
+        let result = the_loop.run();
+        assert_eq!(result.decisions.len(), 1, "one decision expected");
+        // 1000/s / 100 = 10 flat_map; 2000/s / 500 = 4 count.
+        assert_eq!(result.final_deployment.parallelism(fm), 10);
+        assert_eq!(result.final_deployment.parallelism(cnt), 4);
+        // After convergence the job keeps up.
+        assert!(result.final_achieved_ratio(20) > 0.95);
+    }
+
+    /// Scale-down: an over-provisioned job shrinks without undershooting.
+    #[test]
+    fn ds2_scales_down_overprovisioned() {
+        let (engine, _src, fm, cnt) = wordcount_engine(
+            1_000.0,
+            100.0,
+            500.0,
+            (30, 12),
+            EngineConfig {
+                reconfig_latency_ns: 5_000_000_000,
+                ..Default::default()
+            },
+        );
+        let manager = ScalingManager::new(
+            engine.graph().clone(),
+            ManagerConfig {
+                warmup_intervals: 1,
+                ..Default::default()
+            },
+        );
+        let mut the_loop = ClosedLoop::new(
+            engine,
+            manager,
+            HarnessConfig {
+                policy_interval_ns: 10_000_000_000,
+                run_duration_ns: 180_000_000_000,
+                ..Default::default()
+            },
+        );
+        let result = the_loop.run();
+        assert_eq!(result.final_deployment.parallelism(fm), 10);
+        assert_eq!(result.final_deployment.parallelism(cnt), 4);
+        assert!(result.final_achieved_ratio(20) > 0.95, "no undershoot");
+    }
+
+    /// Timely mode: the harness converts the plan into a worker count.
+    #[test]
+    fn ds2_timely_worker_scaling() {
+        let (engine, _src, _fm, _cnt) = wordcount_engine(
+            1_000.0,
+            1_000.0,
+            1_000.0,
+            (1, 1),
+            EngineConfig {
+                mode: EngineMode::Timely,
+                timely_workers: 1,
+                reconfig_latency_ns: 5_000_000_000,
+                ..Default::default()
+            },
+        );
+        // Timely has no backpressure, so the achieved-ratio signal is always
+        // 1.0: minor-change suppression must be disabled (min_change 0).
+        let manager = ScalingManager::new(
+            engine.graph().clone(),
+            ManagerConfig {
+                warmup_intervals: 1,
+                min_change: 0,
+                policy: PolicyConfig::default(),
+                ..Default::default()
+            },
+        );
+        let mut the_loop = ClosedLoop::new(
+            engine,
+            manager,
+            HarnessConfig {
+                policy_interval_ns: 10_000_000_000,
+                run_duration_ns: 120_000_000_000,
+                timely: true,
+                ..Default::default()
+            },
+        );
+        let result = the_loop.run();
+        // flat_map needs 1 worker (1000/s at 1000/s cap), count needs 2
+        // (2000/s at 1000/s cap): 3 workers total.
+        assert_eq!(result.final_workers, 3);
+        assert!(!result.decisions.is_empty());
+        assert_eq!(result.decisions[0].timely_workers, Some(3));
+    }
+}

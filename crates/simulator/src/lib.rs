@@ -1,0 +1,38 @@
+//! # ds2-simulator — deterministic streaming-engine simulation
+//!
+//! The DS2 paper evaluates its controller against three real stream
+//! processors (Apache Flink, Apache Heron, Timely Dataflow) on a cluster.
+//! This crate substitutes those engines with a deterministic, virtual-time
+//! *fluid queueing simulation* that reproduces every observable DS2 and the
+//! baseline controllers consume: observed/true rates, useful vs. waiting
+//! time, backpressure, queue growth, record latency, epoch latency, and
+//! stop-the-world rescaling.
+//!
+//! * [`profile`] — per-operator cost models (instrumented cost, hidden
+//!   overhead, sub-linear scaling curves, skew, windowed output);
+//! * [`queue`] — FIFO fluid queues tagged with source emission time;
+//! * [`source`] — offered-rate schedules and source specs;
+//! * [`engine`] — the fluid engine with Flink/Heron/Timely personalities;
+//! * [`latency`] — record-latency and epoch-latency accounting;
+//! * [`harness`] — the closed control loop driving any
+//!   [`ScalingController`](ds2_core::controller::ScalingController) against
+//!   the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod harness;
+pub mod latency;
+pub mod profile;
+pub mod queue;
+pub mod source;
+
+pub use engine::{
+    EngineConfig, EngineMode, FluidEngine, InstrumentationConfig, TickEvents, TickStats,
+};
+pub use harness::{ClosedLoop, HarnessConfig, RunResult, TimelinePoint};
+pub use latency::{EpochTracker, LatencyRecorder};
+pub use profile::{OperatorProfile, OutputMode, ProfileMap, ScalingCurve};
+pub use queue::{EpochQueue, Span};
+pub use source::{RateSchedule, SourceSpec};

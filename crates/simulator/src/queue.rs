@@ -1,0 +1,211 @@
+//! FIFO fluid queues tagged with source emission time.
+//!
+//! Queue entries carry the (virtual) time the records were originally
+//! emitted by a source. The tag propagates through the dataflow as records
+//! are transformed, which gives the simulator exact end-to-end latency and
+//! epoch-completion accounting without per-record state.
+
+use std::collections::VecDeque;
+
+/// A contiguous span of records sharing one source-emission timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Source emission time of the records, in nanoseconds.
+    pub emitted_ns: u64,
+    /// Number of records (fluid: fractional).
+    pub records: f64,
+}
+
+/// A bounded FIFO fluid queue.
+#[derive(Debug, Clone)]
+pub struct EpochQueue {
+    spans: VecDeque<Span>,
+    total: f64,
+    capacity: f64,
+}
+
+impl EpochQueue {
+    /// Creates a queue holding at most `capacity` records
+    /// (`f64::INFINITY` for unbounded queues, as in Timely).
+    pub fn new(capacity: f64) -> Self {
+        Self {
+            spans: VecDeque::new(),
+            total: 0.0,
+            capacity,
+        }
+    }
+
+    /// Records currently queued.
+    pub fn len(&self) -> f64 {
+        self.total
+    }
+
+    /// `true` when (numerically) empty.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 1e-9
+    }
+
+    /// The queue's capacity in records.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Remaining space in records.
+    pub fn space(&self) -> f64 {
+        (self.capacity - self.total).max(0.0)
+    }
+
+    /// Fill fraction in `[0, 1]` (0 for unbounded queues).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity.is_finite() && self.capacity > 0.0 {
+            (self.total / self.capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Emission time of the oldest queued records, if any.
+    pub fn oldest_ns(&self) -> Option<u64> {
+        self.spans.front().map(|s| s.emitted_ns)
+    }
+
+    /// Pushes records tagged `emitted_ns`, clamped to available space.
+    /// Returns the amount actually enqueued.
+    pub fn push(&mut self, emitted_ns: u64, records: f64) -> f64 {
+        let accepted = records.min(self.space()).max(0.0);
+        if accepted <= 0.0 {
+            return 0.0;
+        }
+        match self.spans.back_mut() {
+            // Merge with the tail span when the tag matches (sources push
+            // once per tick, so this keeps the deque short).
+            Some(tail) if tail.emitted_ns == emitted_ns => tail.records += accepted,
+            _ => self.spans.push_back(Span {
+                emitted_ns,
+                records: accepted,
+            }),
+        }
+        self.total += accepted;
+        accepted
+    }
+
+    /// Dequeues up to `amount` records in FIFO order, returning the drained
+    /// spans (oldest first).
+    pub fn pop(&mut self, amount: f64) -> Vec<Span> {
+        let mut remaining = amount.min(self.total).max(0.0);
+        let mut drained = Vec::new();
+        while remaining > 1e-12 {
+            let Some(front) = self.spans.front_mut() else {
+                break;
+            };
+            if front.records <= remaining + 1e-12 {
+                remaining -= front.records;
+                self.total -= front.records;
+                drained.push(*front);
+                self.spans.pop_front();
+            } else {
+                front.records -= remaining;
+                self.total -= remaining;
+                drained.push(Span {
+                    emitted_ns: front.emitted_ns,
+                    records: remaining,
+                });
+                remaining = 0.0;
+            }
+        }
+        self.total = self.total.max(0.0);
+        drained
+    }
+
+    /// Discards all queued records (used when a failed job is not restored).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.total = 0.0;
+    }
+
+    /// Replaces the capacity, keeping contents (even if above the new cap;
+    /// excess drains naturally).
+    pub fn set_capacity(&mut self, capacity: f64) {
+        self.capacity = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut q = EpochQueue::new(100.0);
+        assert_eq!(q.push(10, 30.0), 30.0);
+        assert_eq!(q.push(20, 30.0), 30.0);
+        assert!((q.len() - 60.0).abs() < 1e-12);
+        let spans = q.pop(40.0);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].emitted_ns, 10);
+        assert!((spans[0].records - 30.0).abs() < 1e-12);
+        assert_eq!(spans[1].emitted_ns, 20);
+        assert!((spans[1].records - 10.0).abs() < 1e-12);
+        assert!((q.len() - 20.0).abs() < 1e-12);
+        assert_eq!(q.oldest_ns(), Some(20));
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut q = EpochQueue::new(50.0);
+        assert_eq!(q.push(0, 40.0), 40.0);
+        assert_eq!(q.push(1, 40.0), 10.0);
+        assert!((q.len() - 50.0).abs() < 1e-12);
+        assert_eq!(q.space(), 0.0);
+        assert_eq!(q.push(2, 1.0), 0.0);
+        assert!((q.fill_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_tag_merges() {
+        let mut q = EpochQueue::new(100.0);
+        q.push(5, 10.0);
+        q.push(5, 15.0);
+        let spans = q.pop(100.0);
+        assert_eq!(spans.len(), 1);
+        assert!((spans[0].records - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_queue() {
+        let mut q = EpochQueue::new(f64::INFINITY);
+        assert_eq!(q.push(0, 1e12), 1e12);
+        assert_eq!(q.fill_fraction(), 0.0);
+        assert!(q.space().is_infinite());
+    }
+
+    #[test]
+    fn pop_more_than_queued() {
+        let mut q = EpochQueue::new(10.0);
+        q.push(0, 5.0);
+        let spans = q.pop(50.0);
+        assert_eq!(spans.len(), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.oldest_ns(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EpochQueue::new(10.0);
+        q.push(0, 5.0);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(1.0).len(), 0);
+    }
+
+    #[test]
+    fn fractional_amounts() {
+        let mut q = EpochQueue::new(1.0);
+        q.push(0, 0.3);
+        q.push(1, 0.3);
+        let spans = q.pop(0.45);
+        assert_eq!(spans.len(), 2);
+        assert!((spans[1].records - 0.15).abs() < 1e-12);
+        assert!((q.len() - 0.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Source rate schedules.
+//!
+//! The offered rate of a source is defined by the application (sensors,
+//! market feeds); experiments drive it through a piecewise-constant
+//! schedule, e.g. the two-phase word-count workload of §5.3 (2M records/s
+//! for ten minutes, then 1M records/s).
+
+/// A piecewise-constant offered-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    /// `(from_ns, records_per_second)` steps, sorted by `from_ns`.
+    steps: Vec<(u64, f64)>,
+}
+
+impl RateSchedule {
+    /// A constant rate from time zero.
+    pub fn constant(rate: f64) -> Self {
+        Self {
+            steps: vec![(0, rate)],
+        }
+    }
+
+    /// Builds a schedule from `(from_ns, rate)` steps.
+    ///
+    /// Steps are sorted by start time; the rate before the first step is 0.
+    pub fn steps(mut steps: Vec<(u64, f64)>) -> Self {
+        steps.sort_by_key(|&(t, _)| t);
+        Self { steps }
+    }
+
+    /// The offered rate at time `now_ns`, in records/second.
+    pub fn rate_at(&self, now_ns: u64) -> f64 {
+        let mut rate = 0.0;
+        for &(from, r) in &self.steps {
+            if from <= now_ns {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// The maximum rate anywhere in the schedule.
+    pub fn peak_rate(&self) -> f64 {
+        self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+/// Configuration of one source operator in a simulated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Offered-rate schedule.
+    pub schedule: RateSchedule,
+    /// When `true`, records the source could not emit (backpressure, or the
+    /// job being down during redeployment) accumulate in an external
+    /// durable buffer — Kafka-style — and are replayed as capacity allows.
+    /// When `false`, unemitted offers are simply lost (a rate-limited
+    /// generator, as in the Dhalion benchmark).
+    pub durable_backlog: bool,
+    /// Generation cost per record in nanoseconds, bounding the per-instance
+    /// source output capacity (a source is an operator too).
+    pub generation_cost_ns: f64,
+}
+
+impl SourceSpec {
+    /// A constant-rate generator without durable backlog.
+    pub fn constant(rate: f64) -> Self {
+        Self {
+            schedule: RateSchedule::constant(rate),
+            durable_backlog: false,
+            generation_cost_ns: 0.0,
+        }
+    }
+
+    /// A constant-rate durable (replayable) source.
+    pub fn durable(rate: f64) -> Self {
+        Self {
+            schedule: RateSchedule::constant(rate),
+            durable_backlog: true,
+            generation_cost_ns: 0.0,
+        }
+    }
+
+    /// Sets a phased schedule.
+    pub fn with_schedule(mut self, schedule: RateSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the per-record generation cost.
+    pub fn with_generation_cost(mut self, ns: f64) -> Self {
+        self.generation_cost_ns = ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate() {
+        let s = RateSchedule::constant(100.0);
+        assert_eq!(s.rate_at(0), 100.0);
+        assert_eq!(s.rate_at(u64::MAX), 100.0);
+        assert_eq!(s.peak_rate(), 100.0);
+    }
+
+    #[test]
+    fn phased_schedule() {
+        // The §5.3 two-phase workload: 2M/s then 1M/s at t = 800 s.
+        let s = RateSchedule::steps(vec![(800_000_000_000, 1e6), (0, 2e6)]);
+        assert_eq!(s.rate_at(0), 2e6);
+        assert_eq!(s.rate_at(799_999_999_999), 2e6);
+        assert_eq!(s.rate_at(800_000_000_000), 1e6);
+        assert_eq!(s.peak_rate(), 2e6);
+    }
+
+    #[test]
+    fn rate_before_first_step_is_zero() {
+        let s = RateSchedule::steps(vec![(1_000, 5.0)]);
+        assert_eq!(s.rate_at(0), 0.0);
+        assert_eq!(s.rate_at(1_000), 5.0);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = SourceSpec::constant(10.0);
+        assert!(!s.durable_backlog);
+        let d = SourceSpec::durable(10.0).with_generation_cost(5.0);
+        assert!(d.durable_backlog);
+        assert_eq!(d.generation_cost_ns, 5.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the fluid engine: conservation laws, ordering,
+//! and backpressure monotonicity over randomized chains.
+
+use std::collections::BTreeMap;
+
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
+use ds2_simulator::engine::{EngineConfig, EngineMode, FluidEngine, InstrumentationConfig};
+use ds2_simulator::profile::{OperatorProfile, ProfileMap};
+use ds2_simulator::queue::EpochQueue;
+use ds2_simulator::source::SourceSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ChainScenario {
+    /// `(capacity, selectivity, parallelism)` per operator.
+    stages: Vec<(f64, f64, usize)>,
+    source_rate: f64,
+}
+
+fn chain_strategy() -> impl Strategy<Value = ChainScenario> {
+    (
+        proptest::collection::vec((100.0f64..5_000.0, 0.25f64..3.0, 1usize..=4), 1..=3),
+        200.0f64..5_000.0,
+    )
+        .prop_map(|(stages, source_rate)| ChainScenario {
+            stages,
+            source_rate,
+        })
+}
+
+fn build(sc: &ChainScenario) -> (FluidEngine, LogicalGraph, Vec<OperatorId>) {
+    let mut b = GraphBuilder::new();
+    let src = b.operator("src");
+    let mut ids = vec![src];
+    for i in 0..sc.stages.len() {
+        let op = b.operator(format!("op{i}"));
+        b.connect(*ids.last().unwrap(), op);
+        ids.push(op);
+    }
+    let graph = b.build().unwrap();
+    let mut profiles = ProfileMap::new();
+    let mut deployment = Deployment::uniform(&graph, 1);
+    for (i, &(cap, sel, p)) in sc.stages.iter().enumerate() {
+        profiles.insert(ids[i + 1], OperatorProfile::with_capacity(cap, sel));
+        deployment.set(ids[i + 1], p);
+    }
+    let mut sources = BTreeMap::new();
+    sources.insert(src, SourceSpec::constant(sc.source_rate));
+    let engine = FluidEngine::new(
+        graph.clone(),
+        profiles,
+        sources,
+        deployment,
+        EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            // Small queues so backpressure reaches the source well within
+            // each property's warm-up even for adversarial chains.
+            per_instance_queue: 500.0,
+            ..Default::default()
+        },
+    );
+    (engine, graph, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Record conservation: everything a source emitted is either queued,
+    /// buffered, or was processed by the first operator.
+    #[test]
+    fn records_are_conserved(sc in chain_strategy()) {
+        let (mut engine, _graph, ids) = build(&sc);
+        let mut emitted_total = 0.0f64;
+        for _ in 0..2_000 {
+            engine.tick();
+            emitted_total += engine.last_tick().emitted.values().sum::<f64>();
+        }
+        let snap = engine.collect_snapshot();
+        let first = snap.operator(ids[1]).unwrap();
+        let processed = first.total_records_in() as f64;
+        let queued = engine.queue_len(ids[1]);
+        let diff = (emitted_total - processed - queued).abs();
+        prop_assert!(
+            diff <= emitted_total * 0.01 + 2.0,
+            "emitted {} != processed {} + queued {}",
+            emitted_total, processed, queued
+        );
+    }
+
+    /// Selectivity conservation: downstream receives upstream output times
+    /// selectivity (within rounding), regardless of backpressure.
+    #[test]
+    fn selectivity_is_respected(sc in chain_strategy()) {
+        prop_assume!(sc.stages.len() >= 2);
+        let (mut engine, _graph, ids) = build(&sc);
+        engine.run_for(20_000_000_000);
+        let snap = engine.collect_snapshot();
+        let up = snap.operator(ids[1]).unwrap();
+        let down = snap.operator(ids[2]).unwrap();
+        let produced = up.total_records_out() as f64;
+        let received = down.total_records_in() as f64 + engine.queue_len(ids[2]);
+        prop_assert!(
+            (produced - received).abs() <= produced * 0.01 + 2.0,
+            "produced {} vs received {}", produced, received
+        );
+    }
+
+    /// Throughput is bounded by the weakest stage: the observed source rate
+    /// never exceeds offered, and never exceeds any stage's cumulative
+    /// capacity limit (adjusted for upstream selectivities).
+    #[test]
+    fn bottleneck_bounds_throughput(sc in chain_strategy()) {
+        let (mut engine, _graph, ids) = build(&sc);
+        // Long warm-up so queues reach steady state.
+        engine.run_for(120_000_000_000);
+        let _ = engine.collect_snapshot();
+        engine.run_for(20_000_000_000);
+        let snap = engine.collect_snapshot();
+        let obs = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        prop_assert!(obs <= sc.source_rate * 1.02 + 1.0);
+
+        // Effective source-rate cap per stage: capacity / product of
+        // selectivities upstream of the stage.
+        let mut sel_product = 1.0;
+        for &(cap, sel, p) in &sc.stages {
+            let cap_total = cap * p as f64;
+            let stage_cap_in_source_units = cap_total / sel_product;
+            prop_assert!(
+                obs <= stage_cap_in_source_units * 1.05 + 2.0,
+                "obs {} exceeds stage cap {}",
+                obs, stage_cap_in_source_units
+            );
+            sel_product *= sel;
+        }
+    }
+
+    /// Adding parallelism to the bottleneck never reduces throughput
+    /// (monotonicity — the physical basis for DS2's Property 1).
+    #[test]
+    fn more_parallelism_never_hurts(sc in chain_strategy(), extra in 1usize..=3) {
+        let (mut base_engine, _g, ids) = build(&sc);
+        base_engine.run_for(90_000_000_000);
+        let _ = base_engine.collect_snapshot();
+        base_engine.run_for(20_000_000_000);
+        let base_obs = base_engine
+            .collect_snapshot()
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+
+        let mut boosted = sc.clone();
+        for stage in &mut boosted.stages {
+            stage.2 += extra;
+        }
+        let (mut boosted_engine, _g, ids2) = build(&boosted);
+        boosted_engine.run_for(90_000_000_000);
+        let _ = boosted_engine.collect_snapshot();
+        boosted_engine.run_for(20_000_000_000);
+        let boosted_obs = boosted_engine
+            .collect_snapshot()
+            .operator(ids2[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        prop_assert!(
+            boosted_obs >= base_obs * 0.98 - 1.0,
+            "throughput dropped from {} to {} after adding parallelism",
+            base_obs, boosted_obs
+        );
+    }
+
+    /// Every snapshot the engine produces satisfies the model invariants
+    /// (`Wu <= W`, waits bounded) for every instance of every operator.
+    #[test]
+    fn snapshots_always_valid(sc in chain_strategy()) {
+        let (mut engine, graph, _ids) = build(&sc);
+        for _ in 0..5 {
+            engine.run_for(7_000_000_000);
+            let snap = engine.collect_snapshot();
+            for op in graph.operators() {
+                let m = snap.operator(op).unwrap();
+                for inst in &m.instances {
+                    prop_assert!(inst.validate().is_ok(), "{op}: {inst:?}");
+                }
+            }
+        }
+    }
+
+    /// FIFO queues: pops return spans in non-decreasing tag order and
+    /// conserve mass.
+    #[test]
+    fn queue_fifo_and_mass(
+        pushes in proptest::collection::vec((0u64..1_000, 0.1f64..100.0), 1..50),
+        pop_fraction in 0.1f64..1.5,
+    ) {
+        let mut q = EpochQueue::new(f64::INFINITY);
+        let mut total = 0.0;
+        let mut tag = 0u64;
+        for (dt, records) in pushes {
+            tag += dt;
+            q.push(tag, records);
+            total += records;
+        }
+        let spans = q.pop(total * pop_fraction);
+        let popped: f64 = spans.iter().map(|s| s.records).sum();
+        prop_assert!(popped <= total * 1.0000001);
+        prop_assert!((popped + q.len() - total).abs() < 1e-6);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].emitted_ns <= w[1].emitted_ns, "FIFO violated");
+        }
+    }
+}

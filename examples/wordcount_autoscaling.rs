@@ -1,0 +1,120 @@
+//! The paper's §5.3 scenario end to end on the simulator: DS2 drives a
+//! Flink-style word count through a workload change — scale-up at
+//! 2 M sentences/s, scale-down plus a target-rate-ratio refinement after
+//! the drop to 1 M/s.
+//!
+//! Run with: `cargo run --release --example wordcount_autoscaling`
+
+use std::collections::BTreeMap;
+
+use ds2::prelude::*;
+use ds2::simulator::harness::RunResult;
+use ds2_core::manager::{ManagerConfig, ScalingManager};
+use ds2_core::policy::PolicyConfig;
+
+fn main() {
+    // Topology: source -> flat_map (selectivity 2) -> count.
+    let mut b = GraphBuilder::new();
+    let src = b.operator("source");
+    let fm = b.operator("flat_map");
+    let cnt = b.operator("count");
+    b.connect(src, fm);
+    b.connect(fm, cnt);
+    let graph = b.build().unwrap();
+
+    // Cost profiles: flat_map 140 K rec/s per instance, count 400 K rec/s.
+    let mut profiles = BTreeMap::new();
+    profiles.insert(fm, OperatorProfile::with_capacity(140_000.0, 2.0));
+    profiles.insert(cnt, OperatorProfile::with_capacity(400_000.0, 1.0));
+
+    // Two-phase offered rate: 2 M/s for 10 simulated minutes, then 1 M/s.
+    let mut sources = BTreeMap::new();
+    sources.insert(
+        src,
+        SourceSpec::durable(0.0).with_schedule(RateSchedule::steps(vec![
+            (0, 2_000_000.0),
+            (600_000_000_000, 1_000_000.0),
+        ])),
+    );
+
+    // Start under-provisioned.
+    let mut initial = Deployment::uniform(&graph, 1);
+    initial.set(fm, 4);
+    initial.set(cnt, 2);
+
+    let engine = FluidEngine::new(
+        graph.clone(),
+        profiles,
+        sources,
+        initial,
+        EngineConfig {
+            mode: EngineMode::Flink,
+            reconfig_latency_ns: 30_000_000_000,
+            ..Default::default()
+        },
+    );
+
+    // The §5.3 manager settings: 10 s interval, 30 s warm-up.
+    let manager = ScalingManager::new(
+        graph.clone(),
+        ManagerConfig {
+            policy_interval_ns: 10_000_000_000,
+            warmup_intervals: 3,
+            min_change: 1,
+            policy: PolicyConfig {
+                max_parallelism: Some(36),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+
+    let mut closed_loop = ClosedLoop::new(
+        engine,
+        manager,
+        HarnessConfig {
+            policy_interval_ns: 10_000_000_000,
+            run_duration_ns: 1_200_000_000_000, // 20 simulated minutes
+            ..Default::default()
+        },
+    );
+    let result: RunResult = closed_loop.run();
+
+    println!("scaling decisions:");
+    for d in &result.decisions {
+        println!(
+            "  t={:>4.0}s  flat_map={:<3} count={}",
+            d.at_ns as f64 / 1e9,
+            d.plan.parallelism(fm),
+            d.plan.parallelism(cnt),
+        );
+    }
+    println!(
+        "\nfinal configuration: flat_map={}, count={}",
+        result.final_deployment.parallelism(fm),
+        result.final_deployment.parallelism(cnt),
+    );
+    println!(
+        "achieved/offered over the last 30 s: {:.3}",
+        result.final_achieved_ratio(30).min(1.0),
+    );
+
+    // Render a compact rate timeline (one char per 20 s).
+    println!("\nobserved source rate timeline (#=2M/s scale, .=job down):");
+    let mut line = String::new();
+    for p in result.timeline.iter().step_by(20) {
+        let c = if p.halted {
+            '.'
+        } else {
+            match (p.observed_rate / 2_000_000.0 * 8.0) as u32 {
+                0 => ' ',
+                1 => ':',
+                2..=3 => '+',
+                4..=6 => '#',
+                _ => '@',
+            }
+        };
+        line.push(c);
+    }
+    println!("  [{line}]");
+}
