@@ -144,7 +144,7 @@ impl ScalingController for ThresholdController {
                 } else {
                     self.config.low - util
                 };
-                let better = worst.map_or(true, |(_, s, _)| severity > s);
+                let better = worst.is_none_or(|(_, s, _)| severity > s);
                 if better {
                     worst = Some((op, severity, up));
                 }

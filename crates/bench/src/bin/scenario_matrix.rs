@@ -1,0 +1,115 @@
+//! Runs the scenario matrix across DS2 and every baseline and prints the
+//! comparison table (steps-to-convergence, provisioning accuracy,
+//! SASO-style stability).
+//!
+//! Usage: `scenario_matrix [scenarios] [controllers...]`
+//!   scenarios    number of scenarios (default 40)
+//!   controllers  any of ds2/dhalion/threshold/queueing (default all)
+//!
+//! Environment: `DS2_MATRIX_SEED` overrides the base seed.
+
+use std::time::Instant;
+
+use ds2_simulator::scenarios::{ControllerKind, MatrixConfig, ScenarioMatrix, WorkloadShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenarios: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let mut controllers: Vec<ControllerKind> = Vec::new();
+    for a in args.iter().skip(1) {
+        match a.as_str() {
+            "ds2" => controllers.push(ControllerKind::Ds2),
+            "dhalion" => controllers.push(ControllerKind::Dhalion),
+            "threshold" => controllers.push(ControllerKind::Threshold),
+            "queueing" => controllers.push(ControllerKind::Queueing),
+            other => {
+                eprintln!("unknown controller '{other}' (expected ds2/dhalion/threshold/queueing)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if controllers.is_empty() {
+        controllers = ControllerKind::ALL.to_vec();
+    }
+
+    let mut config = MatrixConfig {
+        scenarios,
+        controllers: controllers.clone(),
+        ..Default::default()
+    };
+    if let Some(seed) = std::env::var("DS2_MATRIX_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        config.base_seed = seed;
+    }
+    if let Ok(names) = std::env::var("DS2_MATRIX_WORKLOADS") {
+        let workloads: Vec<WorkloadShape> = names
+            .split(',')
+            .filter_map(|n| match n.trim() {
+                "constant" => Some(WorkloadShape::Constant),
+                "step" => Some(WorkloadShape::Step),
+                "diurnal" => Some(WorkloadShape::DiurnalSine),
+                "spike" => Some(WorkloadShape::Spike),
+                "key_skew" => Some(WorkloadShape::KeySkew),
+                _ => None,
+            })
+            .collect();
+        if workloads.is_empty() {
+            eprintln!(
+                "DS2_MATRIX_WORKLOADS='{names}' names no known workload \
+                 (expected constant/step/diurnal/spike/key_skew)"
+            );
+            std::process::exit(2);
+        }
+        config.generator.workloads = workloads;
+    }
+    if let Some(secs) = std::env::var("DS2_MATRIX_DURATION_S")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        config.generator.run_duration_ns = secs * 1_000_000_000;
+    }
+
+    let verbose = std::env::var("DS2_MATRIX_VERBOSE").is_ok();
+    let matrix = ScenarioMatrix::new(config.clone());
+    let t0 = Instant::now();
+    // Per-run progress (stderr) for debugging pathological scenarios.
+    let mut last = Instant::now();
+    let report = matrix.run_with(|spec, o| {
+        if verbose {
+            eprintln!(
+                "seed {} {} {} ops={} {}: steps={} conv={} final={} in {:?}",
+                spec.seed,
+                spec.topology.shape.name(),
+                spec.workload.shape.name(),
+                o.operators,
+                o.controller,
+                o.steps_final_phase,
+                o.converged,
+                o.final_instances,
+                last.elapsed(),
+            );
+        }
+        last = Instant::now();
+    });
+
+    println!(
+        "scenario matrix: {} scenarios x {} controllers in {:?}\n",
+        config.scenarios,
+        config.controllers.len(),
+        t0.elapsed()
+    );
+    println!("{}", report.render(&controllers));
+    for &kind in &controllers {
+        let failing = report.failing_seeds(kind.name());
+        if !failing.is_empty() {
+            println!(
+                "{}: {} runs outside the three-step claim; seeds {:?}",
+                kind.name(),
+                failing.len(),
+                failing
+            );
+        }
+    }
+}

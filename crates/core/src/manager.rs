@@ -63,6 +63,20 @@ pub struct ManagerConfig {
     pub rollback_on_degradation: bool,
     /// Fractional degradation of the achieved ratio that triggers rollback.
     pub degradation_tolerance: f64,
+    /// Intervals the rolled-back-from plan stays suppressed after a
+    /// rollback. The ban must expire: when a rollback was actually caused
+    /// by an exogenous load change (a spike arriving mid-deploy), the
+    /// banned plan is the *correct* one and suppressing it forever would
+    /// pin the job under-provisioned. Consecutive rollbacks escalate the
+    /// ban linearly (2x, 3x, …) so a plan that degrades performance under
+    /// *stable* load is retried ever more rarely instead of cycling
+    /// redeploy/degrade/rollback at a fixed cadence.
+    pub rollback_ban_intervals: u32,
+    /// Fractional change of the measured offered rate beyond which the
+    /// pre/post-deploy ratio comparison is considered meaningless and the
+    /// rollback check is skipped (the degradation is explained by the load,
+    /// not the deploy).
+    pub rollback_load_shift_tolerance: f64,
     /// Underlying policy knobs (min/max parallelism, source scaling).
     pub policy: PolicyConfig,
 }
@@ -80,6 +94,8 @@ impl Default for ManagerConfig {
             max_decisions: None,
             rollback_on_degradation: true,
             degradation_tolerance: 0.1,
+            rollback_ban_intervals: 3,
+            rollback_load_shift_tolerance: 0.1,
             policy: PolicyConfig::default(),
         }
     }
@@ -115,9 +131,23 @@ pub struct ScalingManager {
     previous_deployment: Option<Deployment>,
     /// Achieved ratio observed before the most recent rescale.
     pre_deploy_ratio: Option<f64>,
+    /// Per-source offered rates observed before the most recent rescale;
+    /// rollback only makes sense while the load is still comparable
+    /// (compared per source — opposite shifts must not cancel).
+    pre_deploy_offered: Option<BTreeMap<OperatorId, f64>>,
     /// Set after a rollback so the manager does not immediately re-propose
     /// the configuration it just rolled back from.
     rolled_back_from: Option<Deployment>,
+    /// Intervals left before the `rolled_back_from` ban expires.
+    rollback_ban_remaining: u32,
+    /// Rollbacks since the last deploy that survived, scaling the ban.
+    consecutive_rollbacks: u32,
+    /// Requirement boost learned from past target-rate-ratio corrections
+    /// (§4.2.1). Uncaptured overheads do not disappear once compensated:
+    /// without persistence, the next healthy evaluation — still blind to
+    /// them — would undo the correction and the deployment would flap
+    /// between the raw and the corrected plan.
+    sticky_boost: f64,
     history: Vec<DecisionRecord>,
     consecutive_stable: u32,
 }
@@ -135,7 +165,11 @@ impl ScalingManager {
             awaiting_deploy: false,
             previous_deployment: None,
             pre_deploy_ratio: None,
+            pre_deploy_offered: None,
             rolled_back_from: None,
+            rollback_ban_remaining: 0,
+            consecutive_rollbacks: 0,
+            sticky_boost: 1.0,
             history: Vec::new(),
             consecutive_stable: 0,
         }
@@ -187,6 +221,17 @@ impl ScalingManager {
         min_ratio
     }
 
+    /// Per-source offered rates, from instrumentation.
+    fn offered_rates(&self, snapshot: &MetricsSnapshot) -> Option<BTreeMap<OperatorId, f64>> {
+        let mut rates = BTreeMap::new();
+        for &src in self.graph.sources() {
+            if let Some(&offered) = snapshot.source_rates.get(&src) {
+                rates.insert(src, offered);
+            }
+        }
+        (!rates.is_empty()).then_some(rates)
+    }
+
     /// Combines pending decisions per `activation_combine`.
     fn combine_pending(&self) -> Deployment {
         debug_assert!(!self.pending.is_empty());
@@ -226,11 +271,44 @@ impl ScalingController for ScalingManager {
         }
 
         let achieved_ratio = self.achieved_ratio(snapshot);
+        let offered_now = self.offered_rates(snapshot);
+
+        // Expire the post-rollback suppression: the banned plan may be
+        // exactly what a changed workload needs (see
+        // `ManagerConfig::rollback_ban_intervals`).
+        if self.rolled_back_from.is_some() {
+            if self.rollback_ban_remaining == 0 {
+                self.rolled_back_from = None;
+            } else {
+                self.rollback_ban_remaining -= 1;
+            }
+        }
 
         // Rollback check (§4.2.2): performance degraded after the last
-        // deploy — return to the previous configuration.
+        // deploy — return to the previous configuration. Only meaningful
+        // while the offered load is comparable to the pre-deploy
+        // measurement: a rate change between the two windows explains the
+        // degradation exogenously, and rolling back would punish a correct
+        // plan.
         if self.config.rollback_on_degradation {
-            if let (Some(prev), Some(pre), Some(post)) = (
+            let load_shifted = match (&self.pre_deploy_offered, &offered_now) {
+                (Some(before), Some(now)) => self.graph.sources().iter().any(|src| {
+                    match (before.get(src), now.get(src)) {
+                        (Some(&b), Some(&n)) => {
+                            (n - b).abs() > self.config.rollback_load_shift_tolerance * b.max(1e-9)
+                        }
+                        // A source appearing or vanishing from the metrics
+                        // is itself a load shift.
+                        (b, n) => b.is_some() != n.is_some(),
+                    }
+                }),
+                _ => false,
+            };
+            if load_shifted {
+                self.previous_deployment = None;
+                self.pre_deploy_ratio = None;
+                self.pre_deploy_offered = None;
+            } else if let (Some(prev), Some(pre), Some(post)) = (
                 self.previous_deployment.clone(),
                 self.pre_deploy_ratio,
                 achieved_ratio,
@@ -244,20 +322,33 @@ impl ScalingController for ScalingManager {
                         acted: true,
                     });
                     self.rolled_back_from = Some(current.clone());
+                    self.consecutive_rollbacks = self.consecutive_rollbacks.saturating_add(1);
+                    self.rollback_ban_remaining = self
+                        .config
+                        .rollback_ban_intervals
+                        .saturating_mul(self.consecutive_rollbacks);
+                    // The rolled-back plan may have been a boost artefact;
+                    // drop the learned correction and re-learn from scratch.
+                    self.sticky_boost = 1.0;
                     self.previous_deployment = None;
                     self.pre_deploy_ratio = None;
+                    self.pre_deploy_offered = None;
                     self.pending.clear();
                     self.awaiting_deploy = true;
                     return ControllerVerdict::Rescale(prev);
                 }
             }
         }
-        // A deploy that did not degrade performance clears rollback state.
-        self.previous_deployment = None;
+        // A deploy that did not degrade performance clears rollback state
+        // and forgives past rollbacks.
+        if self.previous_deployment.take().is_some() {
+            self.consecutive_rollbacks = 0;
+        }
 
-        // Evaluate the policy, first without boost.
+        // Evaluate the policy with the boost learned so far (1.0 until a
+        // correction fires).
         let base_policy = Ds2Policy::with_config(PolicyConfig {
-            requirement_boost: 1.0,
+            requirement_boost: self.sticky_boost,
             ..self.config.policy.clone()
         });
         let mut output = match base_policy.evaluate(&self.graph, snapshot, current) {
@@ -275,17 +366,21 @@ impl ScalingController for ScalingManager {
                 return ControllerVerdict::NoAction;
             }
         };
-        let mut boost = 1.0;
+        let mut boost = self.sticky_boost;
 
         // Target-rate-ratio correction (§4.2.1): the policy sees no need to
-        // scale, yet the achieved source rate falls short of the target —
-        // overheads invisible to instrumentation are consuming capacity.
-        // Estimate the extra resources from the achieved/target ratio.
+        // add capacity anywhere, yet the achieved source rate falls short of
+        // the target — overheads invisible to instrumentation are consuming
+        // capacity. Estimate the extra resources from the achieved/target
+        // ratio, on top of what previous corrections already learned.
         if let Some(ratio) = achieved_ratio {
             let threshold = self.config.target_rate_ratio - self.config.ratio_tolerance;
-            let no_change = output.plan.max_delta(current) == 0;
-            if no_change && ratio < threshold && ratio > 0.0 {
-                boost = (self.config.target_rate_ratio / ratio).min(4.0);
+            let no_increase = self
+                .graph
+                .operators()
+                .all(|op| output.plan.parallelism(op) <= current.parallelism(op));
+            if no_increase && ratio < threshold && ratio > 0.0 {
+                boost = (self.sticky_boost * self.config.target_rate_ratio / ratio).min(4.0);
                 let boosted = Ds2Policy::with_config(PolicyConfig {
                     requirement_boost: boost,
                     ..self.config.policy.clone()
@@ -302,31 +397,52 @@ impl ScalingController for ScalingManager {
             self.pending.remove(0);
         }
 
-        let keeping_up = achieved_ratio.map_or(false, |r| {
-            r >= self.config.target_rate_ratio - self.config.ratio_tolerance
-        });
+        let keeping_up = achieved_ratio
+            .is_some_and(|r| r >= self.config.target_rate_ratio - self.config.ratio_tolerance);
 
         let mut acted = false;
         let mut verdict = ControllerVerdict::NoAction;
         if self.pending.len() == self.config.activation_intervals.max(1) as usize {
             let combined = self.combine_pending();
             let delta = combined.max_delta(current);
-            let significant = delta > self.config.min_change || (!keeping_up && delta > 0);
+            // A plan that only removes instances cannot fix a rate
+            // shortfall: while the job is behind target such a plan is
+            // built on measurements the shortfall itself contradicts, so
+            // never act on it (the boost path handles the shortfall).
+            let pure_scale_down = delta > 0
+                && self
+                    .graph
+                    .operators()
+                    .all(|op| combined.parallelism(op) <= current.parallelism(op));
+            let significant = (delta > self.config.min_change || (!keeping_up && delta > 0))
+                && (keeping_up || !pure_scale_down);
             let budget_ok = self
                 .config
                 .max_decisions
-                .map_or(true, |max| self.decisions_made < max);
+                .is_none_or(|max| self.decisions_made < max);
             let not_rolled_back = self.rolled_back_from.as_ref() != Some(&combined);
             if significant && budget_ok && not_rolled_back {
                 self.previous_deployment = Some(current.clone());
                 self.pre_deploy_ratio = achieved_ratio;
+                self.pre_deploy_offered = offered_now;
                 self.awaiting_deploy = true;
                 self.pending.clear();
                 self.consecutive_stable = 0;
+                self.sticky_boost = boost;
                 acted = true;
                 verdict = ControllerVerdict::Rescale(combined);
-            } else {
+            } else if !significant && (keeping_up || !pure_scale_down) {
+                // No meaningful change wanted: genuinely stable. A decision
+                // budget exhausted by `max_decisions` also counts — §4.2.3
+                // uses the cap precisely to declare convergence under skew.
                 self.consecutive_stable += 1;
+            } else if significant && !budget_ok {
+                self.consecutive_stable += 1;
+            } else {
+                // A wanted change was suppressed (while-behind gate or
+                // rollback ban): the policy still wants something the
+                // manager rejected — that is not convergence.
+                self.consecutive_stable = 0;
             }
         }
 

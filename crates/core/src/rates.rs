@@ -259,11 +259,9 @@ impl OperatorMetrics {
 fn aggregate(rates: impl Iterator<Item = Option<f64>>) -> Option<f64> {
     let mut sum = 0.0;
     let mut any = false;
-    for r in rates {
-        if let Some(r) = r {
-            sum += r;
-            any = true;
-        }
+    for r in rates.flatten() {
+        sum += r;
+        any = true;
     }
     any.then_some(sum)
 }

@@ -294,6 +294,63 @@ proptest! {
             "merged rate {} outside [{}, {}]", rm, lo, hi);
     }
 
+    /// Idempotence: a deployment the policy itself prescribed is a fixed
+    /// point — evaluated *at* the prescribed configuration (with metrics
+    /// re-measured there), the policy prescribes exactly that
+    /// configuration again. This is the §3.4 no-oscillation guarantee
+    /// stated directly on the converged deployment.
+    #[test]
+    fn converged_deployment_prescribes_itself(sc in scenario_strategy()) {
+        let (graph, ids) = build_graph(&sc);
+        let start = Deployment::uniform(&graph, sc.initial_parallelism);
+        let snap = build_snapshot(&sc, &graph, &ids, &start);
+        let converged = Ds2Policy::new().evaluate(&graph, &snap, &start).unwrap().plan;
+
+        let snap_at = build_snapshot(&sc, &graph, &ids, &converged);
+        let again = Ds2Policy::new()
+            .evaluate(&graph, &snap_at, &converged)
+            .unwrap()
+            .plan;
+        for &op in &ids {
+            if graph.is_source(op) { continue; }
+            prop_assert_eq!(
+                again.parallelism(op),
+                converged.parallelism(op),
+                "policy is not idempotent on {}", op
+            );
+        }
+    }
+
+    /// Monotonicity: raising the offered source rate never prescribes
+    /// *fewer* instances for any operator (Property 1's practical
+    /// consequence — more load can only need more capacity).
+    #[test]
+    fn higher_rate_never_prescribes_fewer_instances(
+        sc in scenario_strategy(),
+        factor in 1.01f64..16.0,
+    ) {
+        let (graph, ids) = build_graph(&sc);
+        let deployment = Deployment::uniform(&graph, sc.initial_parallelism);
+        let snap = build_snapshot(&sc, &graph, &ids, &deployment);
+        let base = Ds2Policy::new().evaluate(&graph, &snap, &deployment).unwrap();
+
+        let mut boosted_sc = sc.clone();
+        boosted_sc.source_rate *= factor;
+        let snap_hi = build_snapshot(&boosted_sc, &graph, &ids, &deployment);
+        let boosted = Ds2Policy::new().evaluate(&graph, &snap_hi, &deployment).unwrap();
+
+        for &op in &ids {
+            if graph.is_source(op) { continue; }
+            prop_assert!(
+                boosted.plan.parallelism(op) >= base.plan.parallelism(op),
+                "rate x{} shrank {} from {} to {}",
+                factor, op,
+                base.plan.parallelism(op),
+                boosted.plan.parallelism(op)
+            );
+        }
+    }
+
     /// Scaling the source rate by an integer factor scales every target
     /// rate by the same factor (linearity of Eq. 8).
     #[test]

@@ -97,16 +97,49 @@ impl InstanceCounters {
     /// resetting the counters for the next window.
     pub fn take_window(&mut self, now_ns: u64) -> InstanceMetrics {
         let window_ns = now_ns.saturating_sub(self.window_start_ns);
-        let m = InstanceMetrics {
-            records_in: self.records_in,
-            records_out: self.records_out,
-            useful_ns: self.useful.total_ns().min(window_ns),
+        let m = clamped_window(
+            self.records_in,
+            self.records_out,
+            self.useful.total_ns(),
             window_ns,
-            wait_input_ns: self.wait_input_ns,
-            wait_output_ns: self.wait_output_ns,
-        };
+            self.wait_input_ns,
+            self.wait_output_ns,
+        );
         *self = Self::new(now_ns);
         m
+    }
+}
+
+/// Builds an [`InstanceMetrics`] window, clamping wall-clock measurements to
+/// the model invariants `Wu <= W` and `Wu + waits <= W`.
+///
+/// Measurement intervals straddling the window boundary are credited
+/// entirely to the window they end in, so raw useful/wait sums can exceed
+/// the window by up to one interval; waits are scaled back proportionally.
+fn clamped_window(
+    records_in: u64,
+    records_out: u64,
+    useful_raw_ns: u64,
+    window_ns: u64,
+    wait_input_raw_ns: u64,
+    wait_output_raw_ns: u64,
+) -> InstanceMetrics {
+    let useful_ns = useful_raw_ns.min(window_ns);
+    let mut wait_input_ns = wait_input_raw_ns;
+    let mut wait_output_ns = wait_output_raw_ns;
+    let budget = window_ns - useful_ns;
+    let total_wait = wait_input_ns.saturating_add(wait_output_ns);
+    if total_wait > budget {
+        wait_input_ns = (wait_input_ns as u128 * budget as u128 / total_wait as u128) as u64;
+        wait_output_ns = (wait_output_ns as u128 * budget as u128 / total_wait as u128) as u64;
+    }
+    InstanceMetrics {
+        records_in,
+        records_out,
+        useful_ns,
+        window_ns,
+        wait_input_ns,
+        wait_output_ns,
     }
 }
 
@@ -215,17 +248,14 @@ impl CounterTotals {
         now_ns: u64,
     ) -> InstanceMetrics {
         let window_ns = now_ns.saturating_sub(start_ns);
-        InstanceMetrics {
-            records_in: self.records_in.saturating_sub(start.records_in),
-            records_out: self.records_out.saturating_sub(start.records_out),
-            useful_ns: self
-                .useful_ns
-                .saturating_sub(start.useful_ns)
-                .min(window_ns),
+        clamped_window(
+            self.records_in.saturating_sub(start.records_in),
+            self.records_out.saturating_sub(start.records_out),
+            self.useful_ns.saturating_sub(start.useful_ns),
             window_ns,
-            wait_input_ns: self.wait_input_ns.saturating_sub(start.wait_input_ns),
-            wait_output_ns: self.wait_output_ns.saturating_sub(start.wait_output_ns),
-        }
+            self.wait_input_ns.saturating_sub(start.wait_input_ns),
+            self.wait_output_ns.saturating_sub(start.wait_output_ns),
+        )
     }
 }
 
@@ -274,6 +304,33 @@ mod tests {
         let m = c.take_window(1_000);
         assert_eq!(m.useful_ns, 1_000);
         assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn take_window_clamps_excess_waits() {
+        // Waits measured around window boundaries can exceed the non-useful
+        // window time; both windowing paths must restore Wu + waits <= W.
+        let mut c = InstanceCounters::new(0);
+        c.add_processing(600);
+        c.add_wait_input(700);
+        let m = c.take_window(1_000);
+        assert_eq!(m.useful_ns, 600);
+        assert!(m.wait_input_ns <= 400);
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
+    }
+
+    #[test]
+    fn window_since_clamps_excess_waits() {
+        let c = SharedCounters::new();
+        c.add_processing(600);
+        c.add_wait_input(500);
+        c.add_wait_output(300);
+        let m = c.totals().window_since(&CounterTotals::default(), 0, 1_000);
+        assert_eq!(m.useful_ns, 600);
+        assert!(m.wait_input_ns + m.wait_output_ns <= 400);
+        // Proportional: input had 5/8 of the raw wait.
+        assert!(m.wait_input_ns >= m.wait_output_ns);
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
     }
 
     #[test]

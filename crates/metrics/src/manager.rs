@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use ds2_core::graph::OperatorId;
 use ds2_core::rates::InstanceMetrics;
 use ds2_core::snapshot::MetricsSnapshot;
@@ -98,17 +98,12 @@ impl MetricsManager {
 
     /// Drains the channel, merging reports into the current interval.
     pub fn drain(&mut self) {
-        loop {
-            match self.rx.try_recv() {
-                Ok(report) => {
-                    self.reports_received += 1;
-                    self.pending
-                        .entry((report.operator, report.instance))
-                        .and_modify(|m| m.merge(&report.metrics))
-                        .or_insert(report.metrics);
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(report) = self.rx.try_recv() {
+            self.reports_received += 1;
+            self.pending
+                .entry((report.operator, report.instance))
+                .and_modify(|m| m.merge(&report.metrics))
+                .or_insert(report.metrics);
         }
     }
 

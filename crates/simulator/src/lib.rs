@@ -16,7 +16,11 @@
 //! * [`latency`] — record-latency and epoch-latency accounting;
 //! * [`harness`] — the closed control loop driving any
 //!   [`ScalingController`](ds2_core::controller::ScalingController) against
-//!   the engine.
+//!   the engine;
+//! * [`scenarios`] — seeded random scenario generation (topologies,
+//!   workloads, profiles) and the scenario-matrix runner scoring
+//!   steps-to-convergence, provisioning accuracy and stability for DS2 and
+//!   every baseline controller.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod harness;
 pub mod latency;
 pub mod profile;
 pub mod queue;
+pub mod scenarios;
 pub mod source;
 
 pub use engine::{
@@ -35,4 +40,8 @@ pub use harness::{ClosedLoop, HarnessConfig, RunResult, TimelinePoint};
 pub use latency::{EpochTracker, LatencyRecorder};
 pub use profile::{OperatorProfile, OutputMode, ProfileMap, ScalingCurve};
 pub use queue::{EpochQueue, Span};
+pub use scenarios::{
+    ControllerKind, GeneratorConfig, MatrixConfig, MatrixReport, ScenarioMatrix, ScenarioSpec,
+    TopologyShape, WorkloadShape,
+};
 pub use source::{RateSchedule, SourceSpec};

@@ -24,6 +24,17 @@ pub struct EpochQueue {
     capacity: f64,
 }
 
+/// Upper bound on the number of spans one queue tracks.
+///
+/// A nearly-full queue accepts a sliver of records every tick
+/// (`records.min(space)`), each with a fresh emission tag; without a bound
+/// the span list grows by one entry per tick for the whole run — unbounded
+/// memory and O(spans) tick cost — while the record total stays capped.
+/// Beyond this bound new pushes merge into the newest span, trading a
+/// little emission-time resolution (latency accounting only) for strictly
+/// bounded memory.
+const MAX_SPANS: usize = 256;
+
 impl EpochQueue {
     /// Creates a queue holding at most `capacity` records
     /// (`f64::INFINITY` for unbounded queues, as in Timely).
@@ -76,10 +87,15 @@ impl EpochQueue {
         if accepted <= 0.0 {
             return 0.0;
         }
+        // Merge with the tail span when the tag matches (sources push once
+        // per tick, so this keeps the deque short), when the fragment is
+        // dust, or when the span list hit its bound. Merges keep the tail's
+        // (older) tag, which can only over-estimate latency, never hide it.
+        let at_cap = self.spans.len() >= MAX_SPANS;
         match self.spans.back_mut() {
-            // Merge with the tail span when the tag matches (sources push
-            // once per tick, so this keeps the deque short).
-            Some(tail) if tail.emitted_ns == emitted_ns => tail.records += accepted,
+            Some(tail) if tail.emitted_ns == emitted_ns || accepted < 1e-6 || at_cap => {
+                tail.records += accepted
+            }
             _ => self.spans.push_back(Span {
                 emitted_ns,
                 records: accepted,

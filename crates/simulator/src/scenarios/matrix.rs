@@ -1,0 +1,625 @@
+//! The scenario matrix: every generated scenario × every controller, run
+//! through the closed loop and scored against the analytic ground truth.
+//!
+//! This is the substrate behind the repo's headline regression test: DS2
+//! must converge within **three scaling steps** (paper §3.4, §5.4) on the
+//! overwhelming majority of randomly generated scenarios, while the
+//! baselines (Dhalion rules, CPU thresholds, M/M/c queueing) are scored on
+//! the same runs for comparison. Outcomes also record SASO-style stability
+//! (direction reversals, post-convergence actions) and final over/under
+//! provisioning, which future accuracy and ablation experiments reuse.
+
+use std::collections::BTreeMap;
+
+use ds2_baselines::{
+    DhalionConfig, DhalionController, QueueingConfig, QueueingController, ThresholdConfig,
+    ThresholdController,
+};
+use ds2_core::deployment::Deployment;
+use ds2_core::manager::{ManagerConfig, ScalingManager};
+use ds2_core::policy::PolicyConfig;
+
+use crate::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
+use crate::harness::{ClosedLoop, HarnessConfig, RunResult};
+
+use super::generator::{GeneratorConfig, ScenarioSpec};
+
+/// The controller families the matrix can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerKind {
+    /// The DS2 Scaling Manager (Eq. 7–8 policy + §4.2 pragmatics).
+    Ds2,
+    /// Rule-based Dhalion resolver (Heron's state of the art).
+    Dhalion,
+    /// CPU-utilization threshold scaling.
+    Threshold,
+    /// M/M/c queueing-theory provisioning.
+    Queueing,
+}
+
+impl ControllerKind {
+    /// All controllers, DS2 first.
+    pub const ALL: [ControllerKind; 4] = [
+        ControllerKind::Ds2,
+        ControllerKind::Dhalion,
+        ControllerKind::Threshold,
+        ControllerKind::Queueing,
+    ];
+
+    /// Short name used in outcomes and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerKind::Ds2 => "ds2",
+            ControllerKind::Dhalion => "dhalion",
+            ControllerKind::Threshold => "threshold",
+            ControllerKind::Queueing => "queueing",
+        }
+    }
+}
+
+/// Matrix configuration.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Number of scenarios (seeds `base_seed..base_seed + scenarios`).
+    pub scenarios: usize,
+    /// Base seed of the matrix; scenario `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Controllers to drive over every scenario.
+    pub controllers: Vec<ControllerKind>,
+    /// Scenario generation knobs.
+    pub generator: GeneratorConfig,
+    /// Metrics window / decision interval.
+    pub policy_interval_ns: u64,
+    /// Stop-the-world redeployment latency.
+    pub reconfig_latency_ns: u64,
+    /// Simulation step.
+    pub tick_ns: u64,
+    /// Parallelism cap handed to the DS2 policy.
+    pub max_parallelism: usize,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        Self {
+            scenarios: 100,
+            base_seed: 0xD52,
+            controllers: ControllerKind::ALL.to_vec(),
+            generator: GeneratorConfig::default(),
+            policy_interval_ns: 10_000_000_000,
+            reconfig_latency_ns: 10_000_000_000,
+            tick_ns: 25_000_000,
+            max_parallelism: 64,
+        }
+    }
+}
+
+/// The scored outcome of one scenario × controller run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Seed regenerating the scenario exactly.
+    pub seed: u64,
+    /// Controller that produced this outcome.
+    pub controller: &'static str,
+    /// Topology family of the scenario.
+    pub topology: &'static str,
+    /// Workload family of the scenario.
+    pub workload: &'static str,
+    /// Operators in the dataflow (including the source).
+    pub operators: usize,
+    /// Scaling commands applied over the whole run.
+    pub decisions_total: usize,
+    /// Scaling commands applied while responding to the final workload
+    /// phase (at or after the last rate change).
+    pub steps_final_phase: usize,
+    /// `Some(steps_final_phase)` when the run converged; `None` otherwise.
+    pub steps_to_convergence: Option<usize>,
+    /// Whether the run settled: no scaling action over the last three
+    /// policy intervals *and* the job kept up with the offered rate.
+    pub converged: bool,
+    /// Mean achieved/offered ratio over the final 30 timeline seconds.
+    pub final_achieved_ratio: f64,
+    /// Final non-source instances divided by the analytic optimum.
+    pub overprovision_factor: f64,
+    /// Non-source operators left below their optimal parallelism.
+    pub underprovisioned_ops: usize,
+    /// Per-operator scaling direction reversals (up→down or down→up), the
+    /// SASO oscillation count.
+    pub reversals: usize,
+    /// Scaling commands issued after the deployment first reached its
+    /// final configuration in the final workload phase (0 = no churn).
+    pub decisions_after_convergence: usize,
+    /// Total non-source instances at the end of the run.
+    pub final_instances: usize,
+    /// Analytic optimal non-source instances for the final rate.
+    pub optimal_instances: usize,
+}
+
+/// All outcomes of a matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// One entry per scenario × controller, scenario-major order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// Aggregated statistics for one controller across the matrix.
+#[derive(Debug, Clone)]
+pub struct ControllerSummary {
+    /// Controller name.
+    pub controller: &'static str,
+    /// Runs scored.
+    pub runs: usize,
+    /// Runs that settled (see [`ScenarioOutcome::converged`]).
+    pub converged: usize,
+    /// Runs that settled within three scaling steps — the paper's claim.
+    pub within_three_steps: usize,
+    /// `within_three_steps / runs`.
+    pub fraction_within_three: f64,
+    /// Mean steps over converged runs.
+    pub mean_steps: f64,
+    /// Maximum final-phase steps over all runs.
+    pub max_steps: usize,
+    /// Mean overprovision factor over converged runs.
+    pub mean_overprovision: f64,
+    /// Runs leaving at least one operator under-provisioned.
+    pub underprovisioned_runs: usize,
+    /// Mean direction reversals per run (SASO stability; lower is better).
+    pub mean_reversals: f64,
+    /// Total scaling commands across all runs.
+    pub total_decisions: usize,
+}
+
+impl MatrixReport {
+    /// Outcomes of one controller.
+    pub fn for_controller<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a ScenarioOutcome> + 'a {
+        self.outcomes.iter().filter(move |o| o.controller == name)
+    }
+
+    /// Seeds of runs (for `controller`) that failed the three-step claim,
+    /// for reproduction.
+    pub fn failing_seeds(&self, controller: &str) -> Vec<u64> {
+        self.for_controller(controller)
+            .filter(|o| !o.converged || o.steps_final_phase > 3)
+            .map(|o| o.seed)
+            .collect()
+    }
+
+    /// Aggregates one controller's outcomes.
+    pub fn summary(&self, kind: ControllerKind) -> ControllerSummary {
+        let name = kind.name();
+        let outcomes: Vec<&ScenarioOutcome> = self.for_controller(name).collect();
+        let runs = outcomes.len();
+        let converged_runs: Vec<&&ScenarioOutcome> =
+            outcomes.iter().filter(|o| o.converged).collect();
+        let converged = converged_runs.len();
+        let within = outcomes
+            .iter()
+            .filter(|o| o.converged && o.steps_final_phase <= 3)
+            .count();
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let steps: Vec<f64> = converged_runs
+            .iter()
+            .map(|o| o.steps_final_phase as f64)
+            .collect();
+        let over: Vec<f64> = converged_runs
+            .iter()
+            .map(|o| o.overprovision_factor)
+            .collect();
+        let reversals: Vec<f64> = outcomes.iter().map(|o| o.reversals as f64).collect();
+        ControllerSummary {
+            controller: name,
+            runs,
+            converged,
+            within_three_steps: within,
+            fraction_within_three: if runs == 0 {
+                0.0
+            } else {
+                within as f64 / runs as f64
+            },
+            mean_steps: mean(&steps),
+            max_steps: outcomes
+                .iter()
+                .map(|o| o.steps_final_phase)
+                .max()
+                .unwrap_or(0),
+            mean_overprovision: mean(&over),
+            underprovisioned_runs: outcomes
+                .iter()
+                .filter(|o| o.underprovisioned_ops > 0)
+                .count(),
+            mean_reversals: mean(&reversals),
+            total_decisions: outcomes.iter().map(|o| o.decisions_total).sum(),
+        }
+    }
+
+    /// Renders a per-controller comparison table.
+    pub fn render(&self, controllers: &[ControllerKind]) -> String {
+        let mut out = String::from(
+            "controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions\n",
+        );
+        for &kind in controllers {
+            let s = self.summary(kind);
+            out.push_str(&format!(
+                "{:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}\n",
+                s.controller,
+                s.runs,
+                s.converged,
+                s.within_three_steps,
+                s.fraction_within_three,
+                s.mean_steps,
+                s.max_steps,
+                s.mean_overprovision,
+                s.underprovisioned_runs,
+                s.mean_reversals,
+                s.total_decisions,
+            ));
+        }
+        out
+    }
+}
+
+/// Drives the scenario × controller cross-product.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioMatrix {
+    config: MatrixConfig,
+}
+
+impl ScenarioMatrix {
+    /// Creates a matrix runner.
+    pub fn new(config: MatrixConfig) -> Self {
+        Self { config }
+    }
+
+    /// The matrix configuration.
+    pub fn config(&self) -> &MatrixConfig {
+        &self.config
+    }
+
+    /// Runs the full cross-product and scores every run.
+    pub fn run(&self) -> MatrixReport {
+        self.run_with(|_, _| {})
+    }
+
+    /// Like [`run`](Self::run), invoking `observer` with each scenario and
+    /// its freshly scored outcome (progress reporting, per-run logging).
+    pub fn run_with<F>(&self, mut observer: F) -> MatrixReport
+    where
+        F: FnMut(&ScenarioSpec, &ScenarioOutcome),
+    {
+        let mut outcomes =
+            Vec::with_capacity(self.config.scenarios * self.config.controllers.len());
+        for i in 0..self.config.scenarios {
+            let seed = self.config.base_seed + i as u64;
+            let spec = ScenarioSpec::generate(seed, &self.config.generator);
+            for &kind in &self.config.controllers {
+                let outcome = self.run_one(&spec, kind);
+                observer(&spec, &outcome);
+                outcomes.push(outcome);
+            }
+        }
+        MatrixReport { outcomes }
+    }
+
+    /// Runs one scenario under one controller and scores the result.
+    pub fn run_one(&self, spec: &ScenarioSpec, kind: ControllerKind) -> ScenarioOutcome {
+        let engine = self.build_engine(spec);
+        let harness = HarnessConfig {
+            policy_interval_ns: self.config.policy_interval_ns,
+            run_duration_ns: self.config.generator.run_duration_ns,
+            timeline_resolution_ns: 1_000_000_000,
+            timely: false,
+        };
+        let graph = spec.topology.graph.clone();
+        let result = match kind {
+            ControllerKind::Ds2 => {
+                let manager = ScalingManager::new(graph, self.ds2_config());
+                ClosedLoop::new(engine, manager, harness).run()
+            }
+            ControllerKind::Dhalion => {
+                // All controllers share the matrix's parallelism budget so
+                // no baseline can blow up the simulation's instance count.
+                let c = DhalionController::new(
+                    graph,
+                    DhalionConfig {
+                        max_parallelism: self.config.max_parallelism,
+                        ..Default::default()
+                    },
+                );
+                ClosedLoop::new(engine, c, harness).run()
+            }
+            ControllerKind::Threshold => {
+                let c = ThresholdController::new(
+                    graph,
+                    ThresholdConfig {
+                        max_parallelism: self.config.max_parallelism,
+                        ..Default::default()
+                    },
+                );
+                ClosedLoop::new(engine, c, harness).run()
+            }
+            ControllerKind::Queueing => {
+                let c = QueueingController::new(
+                    graph,
+                    QueueingConfig {
+                        max_parallelism: self.config.max_parallelism,
+                        ..Default::default()
+                    },
+                );
+                ClosedLoop::new(engine, c, harness).run()
+            }
+        };
+        self.score(spec, kind, &result)
+    }
+
+    /// The DS2 manager configuration the matrix uses (the §5.4 convergence
+    /// settings, adapted to the matrix interval).
+    pub fn ds2_config(&self) -> ManagerConfig {
+        ManagerConfig {
+            policy_interval_ns: self.config.policy_interval_ns,
+            warmup_intervals: 1,
+            activation_intervals: 1,
+            target_rate_ratio: 1.0,
+            min_change: 1,
+            policy: PolicyConfig {
+                max_parallelism: Some(self.config.max_parallelism),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn build_engine(&self, spec: &ScenarioSpec) -> FluidEngine {
+        FluidEngine::new(
+            spec.topology.graph.clone(),
+            spec.profiles.clone(),
+            spec.sources.clone(),
+            spec.initial.clone(),
+            EngineConfig {
+                tick_ns: self.config.tick_ns,
+                reconfig_latency_ns: self.config.reconfig_latency_ns,
+                seed: spec.seed,
+                instrumentation: InstrumentationConfig::disabled(),
+                ..Default::default()
+            },
+        )
+    }
+
+    fn score(
+        &self,
+        spec: &ScenarioSpec,
+        kind: ControllerKind,
+        result: &RunResult,
+    ) -> ScenarioOutcome {
+        let graph = &spec.topology.graph;
+        let optimal = spec.optimal_parallelism();
+        let run_end = self.config.generator.run_duration_ns + self.config.policy_interval_ns;
+
+        // Decisions responding to the final workload phase.
+        let final_phase: Vec<_> = result
+            .decisions
+            .iter()
+            .filter(|d| d.at_ns >= spec.workload.last_change_ns)
+            .collect();
+        let steps_final_phase = final_phase.len();
+
+        // Settled: no action over the last three policy intervals, and the
+        // job keeps up with the offered rate at the end.
+        let settle_ns = 3 * self.config.policy_interval_ns;
+        let quiet_tail = result
+            .last_decision_ns()
+            .map(|t| t + settle_ns <= run_end)
+            .unwrap_or(true);
+        let final_achieved_ratio = result.final_achieved_ratio(30);
+        let converged = quiet_tail && final_achieved_ratio >= 0.9;
+
+        // Provisioning score against the analytic optimum.
+        let final_deployment = &result.final_deployment;
+        let mut final_instances = 0usize;
+        let mut optimal_instances = 0usize;
+        let mut underprovisioned_ops = 0usize;
+        for op in graph.operators() {
+            if graph.is_source(op) {
+                continue;
+            }
+            let p = final_deployment.parallelism(op);
+            let o = optimal[&op];
+            final_instances += p;
+            optimal_instances += o;
+            if p < o {
+                underprovisioned_ops += 1;
+            }
+        }
+
+        // SASO stability: per-operator direction reversals across the whole
+        // decision sequence.
+        let mut reversals = 0usize;
+        for op in graph.operators() {
+            if graph.is_source(op) {
+                continue;
+            }
+            let mut last = spec.initial.parallelism(op);
+            let mut last_dir = 0i8;
+            for d in &result.decisions {
+                let p = d.plan.parallelism(op);
+                if p == last {
+                    continue;
+                }
+                let dir = if p > last { 1 } else { -1 };
+                if last_dir != 0 && dir != last_dir {
+                    reversals += 1;
+                }
+                last_dir = dir;
+                last = p;
+            }
+        }
+
+        // Churn after first reaching the final configuration.
+        let decisions_after_convergence = final_phase
+            .iter()
+            .position(|d| plans_equal_non_source(graph, &d.plan, final_deployment))
+            .map(|i| steps_final_phase - i - 1)
+            .unwrap_or(0);
+
+        ScenarioOutcome {
+            seed: spec.seed,
+            controller: kind.name(),
+            topology: spec.topology.shape.name(),
+            workload: spec.workload.shape.name(),
+            operators: graph.len(),
+            decisions_total: result.decisions.len(),
+            steps_final_phase,
+            steps_to_convergence: converged.then_some(steps_final_phase),
+            converged,
+            final_achieved_ratio,
+            overprovision_factor: if optimal_instances == 0 {
+                1.0
+            } else {
+                final_instances as f64 / optimal_instances as f64
+            },
+            underprovisioned_ops,
+            reversals,
+            decisions_after_convergence,
+            final_instances,
+            optimal_instances,
+        }
+    }
+}
+
+/// Compares two plans on non-source operators only (sources are never
+/// rescaled by the harness).
+fn plans_equal_non_source(
+    graph: &ds2_core::graph::LogicalGraph,
+    a: &Deployment,
+    b: &Deployment,
+) -> bool {
+    graph
+        .operators()
+        .filter(|&op| !graph.is_source(op))
+        .all(|op| a.parallelism(op) == b.parallelism(op))
+}
+
+/// Convenience: per-operator parallelism changes of a run as a map, for
+/// rendering sequences like Table 4's `12→16`.
+pub fn parallelism_sequences(
+    graph: &ds2_core::graph::LogicalGraph,
+    initial: &Deployment,
+    result: &RunResult,
+) -> BTreeMap<ds2_core::graph::OperatorId, Vec<usize>> {
+    graph
+        .operators()
+        .filter(|&op| !graph.is_source(op))
+        .map(|op| (op, result.parallelism_steps(op, initial.parallelism(op))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::workload::WorkloadShape;
+    use crate::scenarios::TopologyShape;
+
+    fn small_config(scenarios: usize) -> MatrixConfig {
+        MatrixConfig {
+            scenarios,
+            generator: GeneratorConfig {
+                operators: (2, 6),
+                run_duration_ns: 180_000_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ds2_converges_on_a_small_matrix() {
+        let mut cfg = small_config(6);
+        cfg.controllers = vec![ControllerKind::Ds2];
+        // Rate-reachable workloads only: a hot key can make the optimum
+        // non-existent and a diurnal curve keeps moving the target, so
+        // those shapes are exercised separately without a convergence bar.
+        cfg.generator.workloads = vec![
+            WorkloadShape::Constant,
+            WorkloadShape::Step,
+            WorkloadShape::Spike,
+        ];
+        let report = ScenarioMatrix::new(cfg).run();
+        assert_eq!(report.outcomes.len(), 6);
+        let s = report.summary(ControllerKind::Ds2);
+        assert!(
+            s.converged >= 5,
+            "DS2 should settle on nearly all small scenarios: {s:?}\nfailing: {:?}",
+            report.failing_seeds("ds2")
+        );
+    }
+
+    #[test]
+    fn matrix_runs_every_controller() {
+        let mut cfg = small_config(2);
+        cfg.controllers = ControllerKind::ALL.to_vec();
+        let report = ScenarioMatrix::new(cfg).run();
+        assert_eq!(report.outcomes.len(), 8);
+        for kind in ControllerKind::ALL {
+            assert_eq!(report.summary(kind).runs, 2, "{kind:?}");
+        }
+        // The table renders without panicking and mentions every controller.
+        let table = report.render(&ControllerKind::ALL);
+        for kind in ControllerKind::ALL {
+            assert!(table.contains(kind.name()));
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let mut cfg = small_config(3);
+        cfg.controllers = vec![ControllerKind::Ds2, ControllerKind::Threshold];
+        let a = ScenarioMatrix::new(cfg.clone()).run();
+        let b = ScenarioMatrix::new(cfg).run();
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.controller, y.controller);
+            assert_eq!(x.decisions_total, y.decisions_total);
+            assert_eq!(x.steps_final_phase, y.steps_final_phase);
+            assert_eq!(x.converged, y.converged);
+            assert_eq!(x.final_instances, y.final_instances);
+            assert!((x.final_achieved_ratio - y.final_achieved_ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_scenarios_provision_for_the_hot_instance() {
+        // A key-skew scenario's optimum must exceed the uniform optimum for
+        // the skewed operator.
+        let cfg = GeneratorConfig {
+            workloads: vec![WorkloadShape::KeySkew],
+            shapes: vec![TopologyShape::Chain],
+            ..Default::default()
+        };
+        let mut found = false;
+        for seed in 0..80 {
+            let spec = ScenarioSpec::generate(seed, &cfg);
+            let optimal = spec.optimal_parallelism();
+            for (op, profile) in &spec.profiles {
+                let Some(hot) = profile.skew_hot_fraction else {
+                    continue;
+                };
+                let p = optimal[op];
+                // Skew only binds once the hot share exceeds the fair
+                // share; below that the weights degrade to uniform.
+                if p > 1 && hot > 1.0 / p as f64 {
+                    assert!(profile.effective_capacity(p) < profile.real_capacity(p) * p as f64);
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no skewed operator needed parallelism > 1");
+    }
+}

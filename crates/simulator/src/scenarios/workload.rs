@@ -1,0 +1,226 @@
+//! Workload shapes for the scenario matrix: offered-rate schedules over
+//! the run, mirroring the paper's evaluation conditions (§5.2 constant
+//! rates, §5.3 step changes, production-style diurnal curves, transient
+//! spikes) plus hot-key skew (§4.2.3), which stresses the policy through
+//! uneven per-instance load rather than through the rate.
+
+use crate::source::{RateSchedule, SourceSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The family a generated workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadShape {
+    /// Fixed offered rate for the whole run.
+    Constant,
+    /// One rate change partway through the run (up or down).
+    Step,
+    /// A day-curve approximated by a piecewise-constant sine.
+    DiurnalSine,
+    /// Short burst at an elevated rate, then back to base.
+    Spike,
+    /// Constant rate with a hot key concentrating load on one instance of a
+    /// randomly chosen operator.
+    KeySkew,
+}
+
+impl WorkloadShape {
+    /// All shapes, in matrix iteration order.
+    pub const ALL: [WorkloadShape; 5] = [
+        WorkloadShape::Constant,
+        WorkloadShape::Step,
+        WorkloadShape::DiurnalSine,
+        WorkloadShape::Spike,
+        WorkloadShape::KeySkew,
+    ];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadShape::Constant => "constant",
+            WorkloadShape::Step => "step",
+            WorkloadShape::DiurnalSine => "diurnal",
+            WorkloadShape::Spike => "spike",
+            WorkloadShape::KeySkew => "key_skew",
+        }
+    }
+}
+
+/// A concrete workload: the source spec plus the facts the matrix needs to
+/// score a run against it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The family this workload was drawn from.
+    pub shape: WorkloadShape,
+    /// The source specification (schedule + backlog semantics).
+    pub spec: SourceSpec,
+    /// The offered rate over the final phase of the run — the rate the
+    /// final deployment must sustain.
+    pub final_rate: f64,
+    /// The peak offered rate anywhere in the schedule.
+    pub peak_rate: f64,
+    /// Start of the last phase: decisions after this point respond to the
+    /// final rate (convergence is judged from here).
+    pub last_change_ns: u64,
+    /// Hot-key fraction to apply to one operator's profile (KeySkew only).
+    pub skew_hot_fraction: Option<f64>,
+}
+
+impl Workload {
+    /// Generates a workload of the given shape for a run of
+    /// `run_duration_ns`, with base rates drawn from `rate_range`.
+    pub fn generate(
+        shape: WorkloadShape,
+        run_duration_ns: u64,
+        rate_range: (f64, f64),
+        rng: &mut SmallRng,
+    ) -> Workload {
+        let (lo, hi) = rate_range;
+        let base = rng.gen_range(lo..hi);
+        match shape {
+            WorkloadShape::Constant => Workload {
+                shape,
+                spec: SourceSpec::constant(base),
+                final_rate: base,
+                peak_rate: base,
+                last_change_ns: 0,
+                skew_hot_fraction: None,
+            },
+            WorkloadShape::Step => {
+                // Change between 35% and 65% of the run, by a 1.5–3x factor
+                // in either direction.
+                let at = (run_duration_ns as f64 * rng.gen_range(0.35..0.65)) as u64;
+                let factor = rng.gen_range(1.5..3.0);
+                let second = if rng.gen_bool(0.5) {
+                    (base * factor).min(hi * 3.0)
+                } else {
+                    base / factor
+                };
+                let schedule = RateSchedule::steps(vec![(0, base), (at, second)]);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: second,
+                    peak_rate: base.max(second),
+                    last_change_ns: at,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::DiurnalSine => {
+                // One full sine period over the run, piecewise-constant in
+                // 16 segments, amplitude 25–60% of the base rate. The final
+                // segment is the rate convergence is judged against.
+                let segments = 16u64;
+                let amplitude = rng.gen_range(0.25..0.6) * base;
+                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                let seg_ns = (run_duration_ns / segments).max(1);
+                let mut steps = Vec::with_capacity(segments as usize);
+                let mut final_rate = base;
+                for s in 0..segments {
+                    let x = phase + std::f64::consts::TAU * (s as f64 + 0.5) / segments as f64;
+                    let r = (base + amplitude * x.sin()).max(lo * 0.25);
+                    steps.push((s * seg_ns, r));
+                    final_rate = r;
+                }
+                let last_change_ns = (segments - 1) * seg_ns;
+                let schedule = RateSchedule::steps(steps);
+                let peak = schedule.peak_rate();
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate,
+                    peak_rate: peak,
+                    last_change_ns,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::Spike => {
+                // A 2.5–4x burst covering ~12% of the run, ending before the
+                // last third so the controller can settle back down.
+                let start = (run_duration_ns as f64 * rng.gen_range(0.25..0.45)) as u64;
+                let len = (run_duration_ns as f64 * 0.12) as u64;
+                let burst = base * rng.gen_range(2.5..4.0);
+                let schedule =
+                    RateSchedule::steps(vec![(0, base), (start, burst), (start + len, base)]);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: base,
+                    peak_rate: burst,
+                    last_change_ns: start + len,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::KeySkew => {
+                // Constant rate; the stress comes from a hot key that
+                // concentrates 30–60% of one operator's input on instance 0.
+                let hot = rng.gen_range(0.3..0.6);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base),
+                    final_rate: base,
+                    peak_rate: base,
+                    last_change_ns: 0,
+                    skew_hot_fraction: Some(hot),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const RUN: u64 = 300_000_000_000;
+
+    #[test]
+    fn final_rate_matches_schedule_tail() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for shape in WorkloadShape::ALL {
+            for _ in 0..50 {
+                let w = Workload::generate(shape, RUN, (500.0, 5_000.0), &mut rng);
+                let tail = w.spec.schedule.rate_at(RUN);
+                assert!(
+                    (tail - w.final_rate).abs() < 1e-9,
+                    "{shape:?}: tail {tail} != final {}",
+                    w.final_rate
+                );
+                assert!(w.peak_rate >= w.final_rate - 1e-9, "{shape:?}");
+                assert!(w.last_change_ns < RUN, "{shape:?}");
+                assert!((w.spec.schedule.peak_rate() - w.peak_rate).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_only_on_key_skew() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for shape in WorkloadShape::ALL {
+            let w = Workload::generate(shape, RUN, (500.0, 5_000.0), &mut rng);
+            assert_eq!(
+                w.skew_hot_fraction.is_some(),
+                w.shape == WorkloadShape::KeySkew
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Workload::generate(
+            WorkloadShape::DiurnalSine,
+            RUN,
+            (500.0, 5_000.0),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        let b = Workload::generate(
+            WorkloadShape::DiurnalSine,
+            RUN,
+            (500.0, 5_000.0),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.final_rate, b.final_rate);
+    }
+}

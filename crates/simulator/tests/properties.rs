@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use ds2_core::deployment::Deployment;
 use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
-use ds2_simulator::engine::{EngineConfig, EngineMode, FluidEngine, InstrumentationConfig};
+use ds2_simulator::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
 use ds2_simulator::profile::{OperatorProfile, ProfileMap};
 use ds2_simulator::queue::EpochQueue;
 use ds2_simulator::source::SourceSpec;

@@ -105,7 +105,7 @@ fn q1_parallel_matches_sequential() {
             || {
                 let mut q1 = Q1CurrencyConversion;
                 Box::new(FnLogic::new(move |e: Event, out: &mut Vec<Event>| {
-                    if e.bid().map_or(false, |b| b.auction == u64::MAX) {
+                    if e.bid().is_some_and(|b| b.auction == u64::MAX) {
                         return; // sentinel
                     }
                     let mut bids = Vec::new();
@@ -135,7 +135,7 @@ fn q2_parallel_matches_sequential() {
         || {
             let mut q2 = Q2Selection::default();
             Box::new(FnLogic::new(move |e: Event, out: &mut Vec<Event>| {
-                if e.bid().map_or(false, |b| b.auction == u64::MAX) {
+                if e.bid().is_some_and(|b| b.auction == u64::MAX) {
                     return;
                 }
                 let mut hits = Vec::new();
@@ -178,7 +178,7 @@ fn q3_parallel_matches_sequential_when_partitioned_by_key() {
             let mut q3 = Q3LocalItemSuggestion::default();
             let r = Arc::clone(&results2);
             Box::new(FnLogic::new(move |e: Event, _out: &mut Vec<Event>| {
-                if e.bid().map_or(false, |b| b.auction == u64::MAX) {
+                if e.bid().is_some_and(|b| b.auction == u64::MAX) {
                     return;
                 }
                 let mut rows = Vec::new();
@@ -205,7 +205,7 @@ fn parallel_runs_are_repeatable() {
             3,
             || {
                 Box::new(FnLogic::new(|e: Event, out: &mut Vec<Event>| {
-                    if e.bid().map_or(false, |b| b.auction == u64::MAX) {
+                    if e.bid().is_some_and(|b| b.auction == u64::MAX) {
                         return;
                     }
                     out.push(e);

@@ -1,0 +1,189 @@
+//! The repo's headline regression test: DS2 converges within **three
+//! scaling steps** (paper §3.4, §5.4) across a fixed-seed 100-scenario
+//! matrix of random topologies, workloads, cost profiles and starting
+//! deployments — and does so deterministically.
+//!
+//! Failures are printed as scenario seeds: regenerate any of them with
+//! `ScenarioSpec::generate(seed, &claim_generator_config())`.
+
+use ds2::simulator::scenarios::{
+    ControllerKind, GeneratorConfig, MatrixConfig, ScenarioMatrix, TopologyShape, WorkloadShape,
+};
+
+/// Generator settings for the convergence claim: every topology family,
+/// rate-reachable workloads (a hot key can make the optimal parallelism
+/// non-existent — §4.2.3 — which is measured separately below).
+fn claim_generator_config() -> GeneratorConfig {
+    GeneratorConfig {
+        workloads: vec![
+            WorkloadShape::Constant,
+            WorkloadShape::Step,
+            WorkloadShape::Spike,
+        ],
+        run_duration_ns: 200_000_000_000,
+        ..Default::default()
+    }
+}
+
+fn claim_matrix_config() -> MatrixConfig {
+    MatrixConfig {
+        scenarios: 100,
+        base_seed: 0xD52_0001,
+        controllers: vec![ControllerKind::Ds2],
+        generator: claim_generator_config(),
+        ..Default::default()
+    }
+}
+
+/// DS2 settles in at most three scaling steps on at least 95% of the
+/// matrix, and two consecutive runs produce identical statistics.
+#[test]
+fn ds2_converges_within_three_steps_on_95_percent() {
+    let matrix = ScenarioMatrix::new(claim_matrix_config());
+    let report = matrix.run();
+    let summary = report.summary(ControllerKind::Ds2);
+    assert_eq!(summary.runs, 100);
+
+    let failing = report.failing_seeds("ds2");
+    assert!(
+        summary.fraction_within_three >= 0.95,
+        "DS2 settled within three steps on only {}/{} scenarios.\n\
+         Reproducible failing seeds: {failing:?}\n\n{}",
+        summary.within_three_steps,
+        summary.runs,
+        report.render(&[ControllerKind::Ds2]),
+    );
+
+    // Determinism: an identical second run yields identical statistics.
+    let second = matrix.run();
+    assert_eq!(report.outcomes.len(), second.outcomes.len());
+    for (a, b) in report.outcomes.iter().zip(&second.outcomes) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.decisions_total, b.decisions_total, "seed {}", a.seed);
+        assert_eq!(a.steps_final_phase, b.steps_final_phase, "seed {}", a.seed);
+        assert_eq!(a.converged, b.converged, "seed {}", a.seed);
+        assert_eq!(a.final_instances, b.final_instances, "seed {}", a.seed);
+        assert_eq!(a.reversals, b.reversals, "seed {}", a.seed);
+        assert!(
+            (a.final_achieved_ratio - b.final_achieved_ratio).abs() < 1e-12,
+            "seed {}",
+            a.seed
+        );
+    }
+}
+
+/// Every converged run actually keeps up, and DS2 does not leave scenarios
+/// badly over-provisioned (within 2.5x of the analytic optimum on
+/// average — the paper's accuracy claim, with slack for minor-change
+/// suppression on small dataflows).
+#[test]
+fn ds2_final_deployments_are_accurate() {
+    let mut cfg = claim_matrix_config();
+    cfg.scenarios = 40;
+    let report = ScenarioMatrix::new(cfg).run();
+    let summary = report.summary(ControllerKind::Ds2);
+    assert!(summary.converged >= 36, "{summary:?}");
+    assert!(
+        summary.mean_overprovision <= 2.5,
+        "mean overprovision {} too high\n{}",
+        summary.mean_overprovision,
+        report.render(&[ControllerKind::Ds2]),
+    );
+    for o in report.for_controller("ds2") {
+        if o.converged {
+            assert!(
+                o.final_achieved_ratio >= 0.9,
+                "seed {}: converged but ratio {}",
+                o.seed,
+                o.final_achieved_ratio
+            );
+        }
+    }
+}
+
+/// The baselines run the same matrix without panicking, and DS2 meets the
+/// three-step claim at least as often as every baseline (the paper's
+/// comparative result, Table 1 / Figures 1 & 6).
+#[test]
+fn baselines_run_the_same_matrix() {
+    let mut cfg = claim_matrix_config();
+    cfg.scenarios = 12;
+    cfg.controllers = ControllerKind::ALL.to_vec();
+    let report = ScenarioMatrix::new(cfg).run();
+    assert_eq!(report.outcomes.len(), 48);
+    let ds2 = report.summary(ControllerKind::Ds2);
+    for kind in [
+        ControllerKind::Dhalion,
+        ControllerKind::Threshold,
+        ControllerKind::Queueing,
+    ] {
+        let other = report.summary(kind);
+        assert!(
+            ds2.fraction_within_three >= other.fraction_within_three,
+            "DS2 {} vs {} {}\n{}",
+            ds2.fraction_within_three,
+            other.controller,
+            other.fraction_within_three,
+            report.render(&ControllerKind::ALL),
+        );
+    }
+}
+
+/// On fixed-rate workloads a converged DS2 does not oscillate: direction
+/// reversals (the SASO stability signal) stay near zero, unlike the
+/// threshold baseline which hunts around its utilization band.
+#[test]
+fn ds2_is_stable_on_constant_workloads() {
+    let cfg = MatrixConfig {
+        scenarios: 15,
+        base_seed: 0xD52_0201,
+        controllers: vec![ControllerKind::Ds2],
+        generator: GeneratorConfig {
+            workloads: vec![WorkloadShape::Constant],
+            run_duration_ns: 200_000_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = ScenarioMatrix::new(cfg).run();
+    let s = report.summary(ControllerKind::Ds2);
+    assert!(
+        s.mean_reversals <= 0.5,
+        "DS2 oscillates on constant workloads: {s:?}\n{}",
+        report.render(&[ControllerKind::Ds2]),
+    );
+    let churn: usize = report
+        .for_controller("ds2")
+        .map(|o| o.decisions_after_convergence)
+        .sum();
+    assert!(churn <= 2, "post-convergence churn across 15 runs: {churn}");
+}
+
+/// Key-skew scenarios (unreachable optima) and diurnal workloads run
+/// deterministically through the full matrix plumbing even when
+/// convergence is impossible; the runner must score them, not hang or
+/// panic.
+#[test]
+fn skew_and_diurnal_scenarios_are_scored() {
+    let cfg = MatrixConfig {
+        scenarios: 10,
+        base_seed: 0xD52_0401,
+        controllers: vec![ControllerKind::Ds2],
+        generator: GeneratorConfig {
+            workloads: vec![WorkloadShape::KeySkew, WorkloadShape::DiurnalSine],
+            shapes: TopologyShape::ALL.to_vec(),
+            run_duration_ns: 200_000_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let matrix = ScenarioMatrix::new(cfg);
+    let a = matrix.run();
+    let b = matrix.run();
+    assert_eq!(a.outcomes.len(), 10);
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.decisions_total, y.decisions_total, "seed {}", x.seed);
+        assert_eq!(x.converged, y.converged, "seed {}", x.seed);
+        assert_eq!(x.final_instances, y.final_instances, "seed {}", x.seed);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Provides [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros, with a simple time-budgeted measurement loop
+//! instead of criterion's full statistical pipeline.
+//!
+//! Results are printed per benchmark; when the `DS2_BENCH_JSON` environment
+//! variable names a file, a JSON array of
+//! `{"name", "iterations", "mean_ns", "median_ns", "p95_ns"}` records is
+//! written there so CI and future PRs can track a perf trajectory.
+//!
+//! Environment knobs: `DS2_BENCH_WARMUP_MS` (default 100) and
+//! `DS2_BENCH_MEASURE_MS` (default 400) bound per-benchmark runtime.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function` or `group/parameter`).
+    pub name: String,
+    /// Total timed iterations.
+    pub iterations: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median of per-sample means, nanoseconds.
+    pub median_ns: f64,
+    /// 95th percentile of per-sample means, nanoseconds.
+    pub p95_ns: f64,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_ms)
+        };
+        Self {
+            results: Vec::new(),
+            warmup: Duration::from_millis(ms("DS2_BENCH_WARMUP_MS", 100)),
+            measure: Duration::from_millis(ms("DS2_BENCH_MEASURE_MS", 400)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_one(name, self.warmup, self.measure, |b| f(b));
+        report(&result);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes results to `DS2_BENCH_JSON` if set. Called by
+    /// [`criterion_main!`] after all groups ran.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("DS2_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"iterations\": {}, \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"p95_ns\": {:.1}}}{}\n",
+                r.name.replace('"', "'"),
+                r.iterations,
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        } else {
+            eprintln!(
+                "criterion shim: wrote {} results to {path}",
+                self.results.len()
+            );
+        }
+    }
+}
+
+/// A benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input` under the group-qualified id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        let (warmup, measure) = (self.criterion.warmup, self.criterion.measure);
+        let result = run_one(&name, warmup, measure, |b| f(b, input));
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks `f` under the group-qualified id.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        let (warmup, measure) = (self.criterion.warmup, self.criterion.measure);
+        let result = run_one(&name, warmup, measure, |b| f(b));
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Drives the measured routine, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    phase: Phase,
+    samples: Vec<(u64, Duration)>,
+}
+
+enum Phase {
+    Warmup(Duration),
+    Measure { budget: Duration, batch: u64 },
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the phase budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.phase {
+            Phase::Warmup(budget) => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                // Size measurement batches to ~1ms from the warm-up rate.
+                let per_iter = start.elapsed().as_nanos() as u64 / iters.max(1);
+                let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+                self.phase = Phase::Measure {
+                    budget: Duration::ZERO,
+                    batch,
+                };
+            }
+            Phase::Measure { budget, batch } => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples.push((batch, t.elapsed()));
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F>(name: &str, warmup: Duration, measure: Duration, mut f: F) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass: also calibrates the measurement batch size.
+    let mut b = Bencher {
+        phase: Phase::Warmup(warmup),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let batch = match b.phase {
+        Phase::Measure { batch, .. } => batch,
+        Phase::Warmup(_) => 1,
+    };
+    // Measurement pass.
+    let mut b = Bencher {
+        phase: Phase::Measure {
+            budget: measure,
+            batch,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    if per_iter.is_empty() {
+        per_iter.push(0.0);
+    }
+    per_iter.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let iterations: u64 = b.samples.iter().map(|(n, _)| n).sum();
+    let total_ns: f64 = b.samples.iter().map(|(_, d)| d.as_nanos() as f64).sum();
+    let idx = |q: f64| ((per_iter.len() - 1) as f64 * q).round() as usize;
+    BenchResult {
+        name: name.to_string(),
+        iterations,
+        mean_ns: total_ns / iterations.max(1) as f64,
+        median_ns: per_iter[idx(0.5)],
+        p95_ns: per_iter[idx(0.95)],
+    }
+}
+
+fn report(r: &BenchResult) {
+    println!(
+        "bench: {:<50} {:>12.1} ns/iter (median {:>12.1}, p95 {:>12.1}, {} iters)",
+        r.name, r.mean_ns, r.median_ns, r.p95_ns, r.iterations
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::remove_var("DS2_BENCH_JSON");
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            ..Default::default()
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let r = &c.results()[0];
+        assert!(r.iterations > 0);
+        assert!(r.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_qualified() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+            ..Default::default()
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter("p1"), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].name, "grp/p1");
+    }
+}

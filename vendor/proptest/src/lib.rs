@@ -1,0 +1,471 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Implements the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], [`Just`], the
+//! `proptest!` macro (with `#![proptest_config(..)]`), and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//!
+//! * **No shrinking** — a failing case reports its seed and full `Debug`
+//!   value instead of a minimized one.
+//! * **Deterministic by construction** — the RNG seed is derived from the
+//!   test name (overridable with `PROPTEST_SEED`), so two consecutive runs
+//!   explore identical cases. This is what makes the repo's fixed-seed
+//!   matrix tests reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Error raised by a single test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The generated input did not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+/// Result of a single test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy (API compatibility).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed strategy.
+pub struct BoxedStrategy<V>(Box<dyn StrategyObject<Value = V>>);
+
+trait StrategyObject {
+    type Value: Debug;
+    fn generate_obj(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObject for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl<T: SampleUniform + Debug> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            Self { min, max }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The test-case runner invoked by the [`proptest!`] macro.
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng};
+
+    /// FNV-1a, for a stable per-test seed.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `test` against `config.cases` generated inputs. Panics on the
+    /// first failing case, reporting the seed and the generated input.
+    pub fn run<S: Strategy>(
+        name: &str,
+        config: &ProptestConfig,
+        strategy: S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(name));
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = (config.cases as u64) * 16 + 1_024;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            let rendered = format!("{:?}", value);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects for {passed} passes; seed {seed})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed after {passed} passing case(s)\n\
+                         {msg}\n\
+                         input: {rendered}\n\
+                         reproduce with PROPTEST_SEED={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The usual imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`", l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn` item inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &config,
+                strategy,
+                |($($arg,)+)| { $body Ok(()) },
+            );
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let strat = crate::collection::vec((0u64..100, 0.0f64..1.0), 1..=5);
+        let a: Vec<_> = {
+            let mut rng = crate::TestRng::seed_from_u64(3);
+            (0..16).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::TestRng::seed_from_u64(3);
+            (0..16).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in 10u32..20, y in 0.5f64..1.5, n in 1usize..=4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(1u32..10, 2..6)
+                .prop_flat_map(|v| (Just(v), 0usize..2))
+                .prop_map(|(v, extra)| (v.len() + extra, v, extra)),
+        ) {
+            let (len, v, extra) = v;
+            prop_assert_eq!(len, v.len() + extra);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+    }
+}
