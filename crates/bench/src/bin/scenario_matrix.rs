@@ -2,29 +2,72 @@
 //! comparison table (steps-to-convergence, provisioning accuracy,
 //! SASO-style stability).
 //!
-//! Usage: `scenario_matrix [scenarios] [controllers...]`
-//!   scenarios    number of scenarios (default 40)
-//!   controllers  any of ds2/dhalion/threshold/queueing (default all)
+//! Usage: `scenario_matrix [FLAGS] [controllers...]`
 //!
-//! Environment: `DS2_MATRIX_SEED` overrides the base seed.
+//! ```text
+//!   --scenarios N     number of scenarios (default 40; the library default
+//!                     MatrixConfig runs 1000)
+//!   --threads N       worker threads (default 0 = one per CPU; results are
+//!                     bit-identical for every value)
+//!   --seed S          base seed; scenario i runs seed S+i. Reproduce one
+//!                     failing seed with `--seed <seed> --scenarios 1`
+//!   --bench-json P    run the throughput baseline (1 thread vs all CPUs)
+//!                     and write it to P as JSON, then exit
+//!   controllers       any of ds2/dhalion/threshold/queueing (default all)
+//! ```
+//!
+//! The report table goes to stdout; timing and progress go to stderr, so
+//! two runs with different `--threads` can be `diff`ed directly (CI does).
+//!
+//! Environment: `DS2_MATRIX_SEED` (same as `--seed`),
+//! `DS2_MATRIX_WORKLOADS` (comma-separated family names),
+//! `DS2_MATRIX_DURATION_S`, `DS2_MATRIX_VERBOSE`.
 
 use std::time::Instant;
 
 use ds2_simulator::scenarios::{ControllerKind, MatrixConfig, ScenarioMatrix, WorkloadShape};
 
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: scenario_matrix [--scenarios N] [--threads N] [--seed S] \
+         [--bench-json PATH] [ds2|dhalion|threshold|queueing ...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::vec::IntoIter<String>, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        usage_exit(&format!("{flag} needs a value"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| usage_exit(&format!("{flag}: cannot parse '{v}'")))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scenarios: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let mut scenarios: usize = 40;
+    let mut threads: usize = 0;
+    let mut seed: Option<u64> = None;
+    let mut bench_json: Option<String> = None;
     let mut controllers: Vec<ControllerKind> = Vec::new();
-    for a in args.iter().skip(1) {
+
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
+    while let Some(a) = args.next() {
         match a.as_str() {
+            "--scenarios" => scenarios = parse_flag(&mut args, "--scenarios"),
+            "--threads" => threads = parse_flag(&mut args, "--threads"),
+            "--seed" => seed = Some(parse_flag(&mut args, "--seed")),
+            "--bench-json" => bench_json = args.next().or_else(|| usage_exit("--bench-json")),
             "ds2" => controllers.push(ControllerKind::Ds2),
             "dhalion" => controllers.push(ControllerKind::Dhalion),
             "threshold" => controllers.push(ControllerKind::Threshold),
             "queueing" => controllers.push(ControllerKind::Queueing),
             other => {
-                eprintln!("unknown controller '{other}' (expected ds2/dhalion/threshold/queueing)");
-                std::process::exit(2);
+                // Back-compat: a bare number is the scenario count.
+                match other.parse::<usize>() {
+                    Ok(n) => scenarios = n,
+                    Err(_) => usage_exit(&format!("unknown argument '{other}'")),
+                }
             }
         }
     }
@@ -34,31 +77,27 @@ fn main() {
 
     let mut config = MatrixConfig {
         scenarios,
+        threads,
         controllers: controllers.clone(),
         ..Default::default()
     };
-    if let Some(seed) = std::env::var("DS2_MATRIX_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-    {
+    if let Some(seed) = seed.or_else(|| {
+        std::env::var("DS2_MATRIX_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    }) {
         config.base_seed = seed;
     }
     if let Ok(names) = std::env::var("DS2_MATRIX_WORKLOADS") {
         let workloads: Vec<WorkloadShape> = names
             .split(',')
-            .filter_map(|n| match n.trim() {
-                "constant" => Some(WorkloadShape::Constant),
-                "step" => Some(WorkloadShape::Step),
-                "diurnal" => Some(WorkloadShape::DiurnalSine),
-                "spike" => Some(WorkloadShape::Spike),
-                "key_skew" => Some(WorkloadShape::KeySkew),
-                _ => None,
-            })
+            .filter_map(|n| WorkloadShape::from_name(n.trim()))
             .collect();
         if workloads.is_empty() {
+            let known: Vec<&str> = WorkloadShape::ALL.iter().map(|w| w.name()).collect();
             eprintln!(
-                "DS2_MATRIX_WORKLOADS='{names}' names no known workload \
-                 (expected constant/step/diurnal/spike/key_skew)"
+                "DS2_MATRIX_WORKLOADS='{names}' names no known workload (expected {})",
+                known.join("/")
             );
             std::process::exit(2);
         }
@@ -71,10 +110,16 @@ fn main() {
         config.generator.run_duration_ns = secs * 1_000_000_000;
     }
 
+    if let Some(path) = bench_json {
+        run_throughput_baseline(&path, &config);
+        return;
+    }
+
     let verbose = std::env::var("DS2_MATRIX_VERBOSE").is_ok();
     let matrix = ScenarioMatrix::new(config.clone());
     let t0 = Instant::now();
-    // Per-run progress (stderr) for debugging pathological scenarios.
+    // Per-run progress (stderr) for debugging pathological scenarios. In
+    // parallel runs cells are reported in completion order.
     let mut last = Instant::now();
     let report = matrix.run_with(|spec, o| {
         if verbose {
@@ -94,11 +139,18 @@ fn main() {
         last = Instant::now();
     });
 
-    println!(
-        "scenario matrix: {} scenarios x {} controllers in {:?}\n",
+    // Timing to stderr: stdout must be identical across thread counts.
+    eprintln!(
+        "scenario matrix: {} scenarios x {} controllers on {} threads in {:?}",
         config.scenarios,
         config.controllers.len(),
+        matrix.effective_threads(),
         t0.elapsed()
+    );
+    println!(
+        "scenario matrix: {} scenarios x {} controllers\n",
+        config.scenarios,
+        config.controllers.len(),
     );
     println!("{}", report.render(&controllers));
     for &kind in &controllers {
@@ -112,4 +164,43 @@ fn main() {
             );
         }
     }
+}
+
+/// Measures matrix throughput (scenarios/second) at 1 thread and at one
+/// thread per CPU, writing the committed-baseline JSON format.
+fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scenarios = base.scenarios.clamp(8, 64);
+    let mut entries = Vec::new();
+    for threads in [1, cpus] {
+        let config = MatrixConfig {
+            scenarios,
+            threads,
+            controllers: vec![ControllerKind::Ds2],
+            ..base.clone()
+        };
+        let matrix = ScenarioMatrix::new(config);
+        let t0 = Instant::now();
+        let report = matrix.run();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let per_s = scenarios as f64 / elapsed;
+        eprintln!(
+            "bench: {scenarios} scenarios on {threads} thread(s): {elapsed:.2}s \
+             ({per_s:.2} scenarios/s, {} outcomes)",
+            report.outcomes.len()
+        );
+        entries.push(format!(
+            "  {{\"name\": \"scenario_matrix/ds2_{threads}threads\", \"threads\": {threads}, \
+             \"scenarios\": {scenarios}, \"elapsed_s\": {elapsed:.3}, \
+             \"scenarios_per_s\": {per_s:.3}}}"
+        ));
+        if cpus == 1 {
+            break; // one entry is the whole story on a single-CPU host
+        }
+    }
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    std::fs::write(path, &json).expect("write bench json");
+    println!("{json}");
 }

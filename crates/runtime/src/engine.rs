@@ -511,6 +511,54 @@ mod tests {
         );
     }
 
+    /// State conservation through *up then down* rescales, including the
+    /// scale-down case where the restored key space (64 keys) far exceeds
+    /// the new instance count: every key's migrated count must equal its
+    /// sink total — exactly the invariant an unrescaled run satisfies
+    /// trivially (see `records_flow_end_to_end`).
+    #[test]
+    fn rescale_up_then_down_conserves_keyed_state() {
+        let (spec, _s, _m, c, sink) = pipeline(20_000.0);
+        let g = spec.graph.clone();
+        let mut d = Deployment::uniform(&g, 1);
+        d.set(c, 2);
+        let mut job = RunningJob::deploy(spec, d);
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Scale up: 2 -> 5 instances; restored keys re-partition across
+        // more instances than before.
+        let mut plan = job.deployment().clone();
+        plan.set(c, 5);
+        job.rescale(plan);
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Scale down: 5 -> 1 instance; all 64 restored keys must land on
+        // the single remaining instance.
+        let mut plan = job.deployment().clone();
+        plan.set(c, 1);
+        job.rescale(plan);
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(job.rescales(), 2);
+
+        let mut state = job.shutdown();
+        let mut drained: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in state.remove(&c).unwrap_or_default() {
+            *drained.entry(k).or_insert(0) += *v.downcast::<u64>().unwrap();
+        }
+        let sink_counts = sink.lock().clone();
+        assert!(
+            sink_counts.keys().len() > 32,
+            "expected a wide key space, got {}",
+            sink_counts.keys().len()
+        );
+        // Per-key equality: nothing lost, nothing duplicated, across both
+        // migrations.
+        assert_eq!(
+            drained, sink_counts,
+            "keyed state diverged from sink totals across up+down rescale"
+        );
+    }
+
     #[test]
     fn rates_reflect_load() {
         let (spec, s, _m, _c, _sink) = pipeline(10_000.0);

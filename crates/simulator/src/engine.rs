@@ -226,6 +226,14 @@ pub struct FluidEngine {
     last_tick: TickStats,
     /// Reverse topological order (sinks first), cached.
     reverse_topo: Vec<OperatorId>,
+    /// Downstream `(to, weight)` edges per operator, cached at construction
+    /// (the graph never changes; collecting these per tick dominated the
+    /// allocator profile of large matrix runs).
+    down_edges: BTreeMap<OperatorId, Vec<(OperatorId, f64)>>,
+    /// Per-operator `(instrumented, real)` cost per record at the current
+    /// deployment, in ns. Rebuilt on every redeployment — the scaling-curve
+    /// multipliers involve `exp()` and only change when parallelism does.
+    cost_cache: BTreeMap<OperatorId, (f64, f64)>,
 }
 
 impl FluidEngine {
@@ -257,6 +265,18 @@ impl FluidEngine {
             t.reverse();
             t
         };
+        let down_edges: BTreeMap<OperatorId, Vec<(OperatorId, f64)>> = graph
+            .operators()
+            .map(|op| {
+                (
+                    op,
+                    graph
+                        .downstream_edges(op)
+                        .map(|e| (e.to, e.weight))
+                        .collect(),
+                )
+            })
+            .collect();
         let timely_workers = cfg.timely_workers.max(1);
         let epoch_ns = cfg.epoch_ns;
         let seed = cfg.seed;
@@ -278,9 +298,36 @@ impl FluidEngine {
             epochs: EpochTracker::new(epoch_ns),
             last_tick: TickStats::default(),
             reverse_topo,
+            down_edges,
+            cost_cache: BTreeMap::new(),
         };
         engine.init_states();
+        engine.rebuild_cost_cache();
         engine
+    }
+
+    /// Recomputes the per-record cost of every non-source operator at the
+    /// current parallelism (instrumented and real, ns per record).
+    fn rebuild_cost_cache(&mut self) {
+        self.cost_cache = self
+            .graph
+            .operators()
+            .filter(|&op| !self.graph.is_source(op))
+            .map(|op| {
+                let p = match self.cfg.mode {
+                    EngineMode::Timely => self.timely_workers,
+                    _ => self.deployment.parallelism(op).max(1),
+                };
+                let profile = &self.profiles[&op];
+                (
+                    op,
+                    (
+                        self.effective_instr_cost(profile, p),
+                        self.effective_real_cost(profile, p),
+                    ),
+                )
+            })
+            .collect();
     }
 
     /// Number of metric-reporting instances of an operator.
@@ -546,6 +593,7 @@ impl FluidEngine {
                 st.push_partitioned(span.emitted_ns, span.records);
             }
         }
+        self.rebuild_cost_cache();
     }
 
     /// A tick during which the job is down: only wait time accumulates and
@@ -571,8 +619,8 @@ impl FluidEngine {
     /// One tick of the blocking (Flink) or signal-based (Heron) personality.
     fn tick_blocking(&mut self, stats: &mut TickStats, tick_ns: u64) {
         let tick_s = tick_ns as f64 / 1e9;
-        let order = self.reverse_topo.clone();
-        for op in order {
+        for i in 0..self.reverse_topo.len() {
+            let op = self.reverse_topo[i];
             if self.graph.is_source(op) {
                 self.source_emit(op, stats, tick_s);
             } else {
@@ -620,9 +668,7 @@ impl FluidEngine {
             }
             let share = budget / active.len() as f64;
             for op in active {
-                let p = self.timely_workers;
-                let profile = &self.profiles[&op];
-                let real_cost = self.effective_real_cost(profile, p) * noises[&op];
+                let real_cost = self.cost_cache[&op].1 * noises[&op];
                 let want_records = eligible[&op];
                 let afford = share / real_cost;
                 let n = want_records.min(afford);
@@ -667,8 +713,14 @@ impl FluidEngine {
     /// Source emission for one tick (blocking personalities consult
     /// downstream queue space; Timely never blocks).
     fn source_emit(&mut self, op: OperatorId, stats: &mut TickStats, tick_s: f64) {
-        let spec = self.sources[&op].clone();
-        let offered = spec.schedule.rate_at(self.now_ns) * tick_s;
+        let (offered, generation_cost_ns, durable_backlog) = {
+            let spec = &self.sources[&op];
+            (
+                spec.schedule.rate_at(self.now_ns) * tick_s,
+                spec.generation_cost_ns,
+                spec.durable_backlog,
+            )
+        };
         stats.offered.insert(op, offered);
 
         let p = self.deployment.parallelism(op).max(1) as f64;
@@ -677,8 +729,8 @@ impl FluidEngine {
         let mut budget = offered + self.backlog.get(&op).copied().unwrap_or(0.0);
 
         // Generation capacity of the source instances themselves.
-        if spec.generation_cost_ns > 0.0 {
-            let cap = p * tick_ns / spec.generation_cost_ns;
+        if generation_cost_ns > 0.0 {
+            let cap = p * tick_ns / generation_cost_ns;
             budget = budget.min(cap);
         }
 
@@ -690,28 +742,24 @@ impl FluidEngine {
         // Blocking personalities: cannot emit past downstream queue space.
         let mut emit = budget;
         if self.cfg.mode != EngineMode::Timely {
-            for edge in self.graph.downstream_edges(op) {
-                let limit = self.states[&edge.to].accept_limit();
-                if edge.weight > 0.0 {
-                    emit = emit.min(limit / edge.weight);
+            for &(to, weight) in &self.down_edges[&op] {
+                let limit = self.states[&to].accept_limit();
+                if weight > 0.0 {
+                    emit = emit.min(limit / weight);
                 }
             }
         }
         emit = emit.max(0.0);
 
-        let edges: Vec<(OperatorId, f64)> = self
-            .graph
-            .downstream_edges(op)
-            .map(|e| (e.to, e.weight))
-            .collect();
-        for (to, weight) in edges {
+        for i in 0..self.down_edges[&op].len() {
+            let (to, weight) = self.down_edges[&op][i];
             let st = self.states.get_mut(&to).expect("state");
             st.push_partitioned(self.now_ns, emit * weight);
         }
 
         // Backlog bookkeeping.
         let leftover = (offered + self.backlog.get(&op).copied().unwrap_or(0.0)) - emit;
-        if spec.durable_backlog {
+        if durable_backlog {
             self.backlog.insert(op, leftover.max(0.0));
         } else {
             self.backlog.insert(op, 0.0);
@@ -722,8 +770,8 @@ impl FluidEngine {
         // Source instance counters: emission is useful output work.
         let st = self.states.get_mut(&op).expect("state");
         let n_inst = st.acc.len().max(1) as f64;
-        let busy_per_inst = if spec.generation_cost_ns > 0.0 {
-            (emit / n_inst) * spec.generation_cost_ns
+        let busy_per_inst = if generation_cost_ns > 0.0 {
+            (emit / n_inst) * generation_cost_ns
         } else {
             // Costless generators: model a nominal utilization proportional
             // to achieved vs offered so rates stay defined.
@@ -749,10 +797,10 @@ impl FluidEngine {
             return f64::INFINITY;
         }
         let mut limit = f64::INFINITY;
-        for edge in self.graph.downstream_edges(op) {
-            let accept = self.states[&edge.to].accept_limit();
-            if edge.weight > 0.0 {
-                limit = limit.min(accept / (selectivity * edge.weight));
+        for &(to, weight) in &self.down_edges[&op] {
+            let accept = self.states[&to].accept_limit();
+            if weight > 0.0 {
+                limit = limit.min(accept / (selectivity * weight));
             }
         }
         limit
@@ -761,11 +809,11 @@ impl FluidEngine {
     /// Processes one non-source operator for one tick of the blocking
     /// personalities.
     fn operator_process(&mut self, op: OperatorId, tick_ns: u64, noise: f64) {
-        let p = self.deployment.parallelism(op).max(1);
-        let profile = self.profiles[&op].clone();
-        let instr_cost = self.effective_instr_cost(&profile, p) * noise;
-        let real_cost = self.effective_real_cost(&profile, p) * noise;
+        let (instr_base, real_base) = self.cost_cache[&op];
+        let instr_cost = instr_base * noise;
+        let real_cost = real_base * noise;
         let cap_inst = tick_ns as f64 / real_cost;
+        let output = self.profiles[&op].output;
 
         // Per-instance desired drains from their own partitions.
         let mut takes: Vec<f64> = self.states[&op]
@@ -777,9 +825,9 @@ impl FluidEngine {
 
         // Output-space constraint (windowed operators buffer internally, so
         // only their flush is space-limited).
-        let sel = profile.output.average_selectivity();
+        let sel = output.average_selectivity();
         let mut out_limited = false;
-        if matches!(profile.output, OutputMode::PerRecord { .. }) {
+        if matches!(output, OutputMode::PerRecord { .. }) {
             let limit = self.output_space_limit(op, sel);
             if want_total > limit {
                 let factor = if want_total > 0.0 {
@@ -797,11 +845,6 @@ impl FluidEngine {
         // Drain each partition and route the output.
         let is_sink = self.graph.is_sink(op);
         let tick_end = self.now_ns + self.cfg.tick_ns;
-        let edges: Vec<(OperatorId, f64)> = self
-            .graph
-            .downstream_edges(op)
-            .map(|e| (e.to, e.weight))
-            .collect();
 
         let mut out_total = 0.0f64;
         let mut win_buf = 0.0f64;
@@ -817,8 +860,9 @@ impl FluidEngine {
                 drained_spans.extend(spans);
             }
         }
-        match profile.output {
+        match output {
             OutputMode::PerRecord { selectivity } => {
+                let edges = &self.down_edges[&op];
                 for span in &drained_spans {
                     if is_sink {
                         self.latency
@@ -826,7 +870,7 @@ impl FluidEngine {
                     }
                     let out = span.records * selectivity;
                     out_total += out;
-                    for &(to, weight) in &edges {
+                    for &(to, weight) in edges {
                         let st = self.states.get_mut(&to).expect("state");
                         st.push_partitioned(span.emitted_ns, out * weight);
                     }
@@ -878,7 +922,7 @@ impl FluidEngine {
     /// Timely drain path: `n` records off the operator's shared queue,
     /// `used_ns` of worker time spent.
     fn timely_drain(&mut self, op: OperatorId, n: f64, used_ns: f64) {
-        let profile = self.profiles[&op].clone();
+        let output = self.profiles[&op].output;
         let spans = {
             let st = self.states.get_mut(&op).expect("state");
             st.queues.first_mut().map(|q| q.pop(n)).unwrap_or_default()
@@ -887,8 +931,8 @@ impl FluidEngine {
         // Busy time spread over worker-instances; only the instrumented
         // fraction counts as useful.
         let instr_fraction = {
-            let p = self.timely_workers;
-            self.effective_instr_cost(&profile, p) / self.effective_real_cost(&profile, p)
+            let (instr, real) = self.cost_cache[&op];
+            instr / real
         };
         {
             let st = self.states.get_mut(&op).expect("state");
@@ -902,15 +946,11 @@ impl FluidEngine {
 
         let is_sink = self.graph.is_sink(op);
         let tick_end = self.now_ns + self.cfg.tick_ns;
-        let edges: Vec<(OperatorId, f64)> = self
-            .graph
-            .downstream_edges(op)
-            .map(|e| (e.to, e.weight))
-            .collect();
 
-        match profile.output {
+        match output {
             OutputMode::PerRecord { selectivity } => {
                 let mut out_total = 0.0;
+                let edges = &self.down_edges[&op];
                 for span in &spans {
                     if is_sink {
                         self.latency
@@ -918,7 +958,7 @@ impl FluidEngine {
                     }
                     let out = span.records * selectivity;
                     out_total += out;
-                    for &(to, weight) in &edges {
+                    for &(to, weight) in edges {
                         let st = self.states.get_mut(&to).expect("state");
                         st.push_partitioned(span.emitted_ns, out * weight);
                     }
@@ -979,14 +1019,10 @@ impl FluidEngine {
             }
             return;
         }
-        let edges: Vec<(OperatorId, f64)> = self
-            .graph
-            .downstream_edges(op)
-            .map(|e| (e.to, e.weight))
-            .collect();
         let mut spilled = 0.0f64;
-        for (to, weight) in &edges {
-            let st = self.states.get_mut(to).expect("state");
+        for i in 0..self.down_edges[&op].len() {
+            let (to, weight) = self.down_edges[&op][i];
+            let st = self.states.get_mut(&to).expect("state");
             // Window flushes are bursts: a bounded receiving queue may not
             // absorb everything; the spill stays pending for the next tick.
             let accept = st.accept_limit();

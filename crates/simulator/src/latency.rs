@@ -1,11 +1,38 @@
 //! Latency accounting: weighted per-record latency samples (Flink-style,
 //! Fig. 8) and per-epoch completion latencies (Timely-style, Fig. 9).
 
+use std::sync::Mutex;
+
+/// Sorted-order cache for distribution queries.
+///
+/// `sorted` holds the first `clean_len` samples ordered by latency. Queries
+/// fold any samples recorded since the last rebuild into the cache, so a
+/// burst of `quantile`/`median` calls between inserts sorts at most once —
+/// previously every call cloned and re-sorted the full sample vector.
+#[derive(Debug, Default)]
+struct SortCache {
+    sorted: Vec<(u64, f64)>,
+    clean_len: usize,
+}
+
 /// Collects weighted latency samples and answers distribution queries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct LatencyRecorder {
     /// `(latency_ns, weight)` samples; weight is a record count.
     samples: Vec<(u64, f64)>,
+    /// Lazily maintained sorted view (interior mutability keeps the query
+    /// methods `&self`; the mutex is uncontended in practice — recorders
+    /// live on one thread).
+    cache: Mutex<SortCache>,
+}
+
+impl Clone for LatencyRecorder {
+    fn clone(&self) -> Self {
+        Self {
+            samples: self.samples.clone(),
+            cache: Mutex::new(SortCache::default()),
+        }
+    }
 }
 
 impl LatencyRecorder {
@@ -19,6 +46,19 @@ impl LatencyRecorder {
         if weight > 0.0 {
             self.samples.push((latency_ns, weight));
         }
+    }
+
+    /// Runs `f` over the samples sorted by latency, refreshing the cache
+    /// first if samples arrived since the last query.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[(u64, f64)]) -> R) -> R {
+        let mut cache = self.cache.lock().expect("latency cache poisoned");
+        if cache.clean_len < self.samples.len() {
+            let from = cache.clean_len;
+            cache.sorted.extend_from_slice(&self.samples[from..]);
+            cache.sorted.sort_unstable_by_key(|&(l, _)| l);
+            cache.clean_len = self.samples.len();
+        }
+        f(&cache.sorted)
     }
 
     /// Number of sample entries (not total weight).
@@ -41,18 +81,18 @@ impl LatencyRecorder {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by_key(|&(l, _)| l);
-        let total: f64 = sorted.iter().map(|&(_, w)| w).sum();
+        let total = self.total_weight();
         let threshold = total * q.clamp(0.0, 1.0);
-        let mut acc = 0.0;
-        for &(l, w) in &sorted {
-            acc += w;
-            if acc >= threshold {
-                return Some(l);
+        self.with_sorted(|sorted| {
+            let mut acc = 0.0;
+            for &(l, w) in sorted {
+                acc += w;
+                if acc >= threshold {
+                    return Some(l);
+                }
             }
-        }
-        sorted.last().map(|&(l, _)| l)
+            sorted.last().map(|&(l, _)| l)
+        })
     }
 
     /// Median latency.
@@ -210,6 +250,34 @@ mod tests {
         assert!((cdf[2].1 - 0.4).abs() < 1e-12);
         assert!((cdf[3].1 - 1.0).abs() < 1e-12);
         assert!((cdf[4].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_quantiles_are_identical_and_track_inserts() {
+        // Regression: quantile used to clone + re-sort the sample vector on
+        // every call; the sorted order is now cached. Repeated calls must
+        // return identical values, and the cache must fold in samples
+        // recorded between calls (matching a freshly built recorder).
+        let mut r = LatencyRecorder::new();
+        let latencies = [900u64, 100, 500, 300, 700, 200, 800, 400, 600, 1_000];
+        let mut fresh = LatencyRecorder::new();
+        for (i, &l) in latencies.iter().enumerate() {
+            r.record(l, 1.0 + (i % 3) as f64);
+            fresh.record(l, 1.0 + (i % 3) as f64);
+            // Query after every insert: the cache is rebuilt mid-stream.
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                let a = r.quantile(q);
+                assert_eq!(a, r.quantile(q), "repeated call differs at q={q}");
+                // A recorder that never answered a query agrees.
+                let clean: LatencyRecorder = fresh.clone();
+                assert_eq!(a, clean.quantile(q), "cache diverged at q={q}");
+            }
+        }
+        assert_eq!(r.quantile(0.0), Some(100));
+        assert_eq!(r.quantile(1.0), Some(1_000));
+        // Cloning drops the cache but not the samples.
+        let c = r.clone();
+        assert_eq!(c.median(), r.median());
     }
 
     #[test]

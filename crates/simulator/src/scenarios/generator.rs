@@ -107,7 +107,7 @@ impl ScenarioSpec {
         let mut profiles = ProfileMap::new();
         let graph = &topology.graph;
         // One randomly chosen non-source operator carries the hot key in
-        // KeySkew scenarios.
+        // skewed scenarios (KeySkew, SpikeSkew).
         let non_source: Vec<OperatorId> = graph
             .operators()
             .filter(|&op| !graph.is_source(op))
@@ -156,12 +156,17 @@ impl ScenarioSpec {
                 let hidden = profile.instrumented_cost_ns(1) * rng.gen_range(0.03..0.15);
                 profile = profile.with_hidden(hidden, ScalingCurve::Linear);
             }
-            if workload.shape == WorkloadShape::KeySkew && op == skew_victim {
-                profile = profile.with_skew(workload.skew_hot_fraction.unwrap_or(0.4));
+            if let Some(hot) = workload.skew_hot_fraction {
+                if op == skew_victim {
+                    profile = profile.with_skew(hot);
+                }
             }
             profiles.insert(op, profile);
         }
 
+        // Every source runs the full workload schedule: a multi-source
+        // topology's merge stage sees `n_sources` times the per-feed rate,
+        // which is exactly what `target_rates` assumes.
         let mut sources = BTreeMap::new();
         for &src in graph.sources() {
             sources.insert(src, workload.spec.clone());
@@ -265,12 +270,48 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_deterministic_for_every_family() {
+        // Every topology × workload family, not just whatever the default
+        // config happens to draw: restrict the generator to one pair and
+        // check same seed → same spec.
+        for shape in TopologyShape::ALL {
+            for workload in WorkloadShape::ALL {
+                let cfg = GeneratorConfig {
+                    shapes: vec![shape],
+                    workloads: vec![workload],
+                    ..Default::default()
+                };
+                for seed in 0..6 {
+                    let a = ScenarioSpec::generate(seed, &cfg);
+                    let b = ScenarioSpec::generate(seed, &cfg);
+                    assert_eq!(a.topology.shape, shape);
+                    assert_eq!(a.workload.shape, workload);
+                    assert_eq!(a.topology.ids, b.topology.ids, "{shape:?}/{workload:?}");
+                    assert_eq!(
+                        a.topology.graph.edges(),
+                        b.topology.graph.edges(),
+                        "{shape:?}/{workload:?}"
+                    );
+                    assert_eq!(a.profiles, b.profiles, "{shape:?}/{workload:?}");
+                    assert_eq!(a.initial, b.initial, "{shape:?}/{workload:?}");
+                    assert_eq!(a.workload.spec, b.workload.spec, "{shape:?}/{workload:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn scenarios_are_well_formed() {
         let cfg = GeneratorConfig::default();
         for seed in 0..120 {
             let s = ScenarioSpec::generate(seed, &cfg);
             let graph = &s.topology.graph;
-            assert_eq!(graph.sources().len(), 1, "seed {seed}");
+            let n_sources = graph.sources().len();
+            if s.topology.shape == TopologyShape::MultiSource {
+                assert!((1..=3).contains(&n_sources), "seed {seed}");
+            } else {
+                assert_eq!(n_sources, 1, "seed {seed}");
+            }
             assert!(graph.len() >= 2, "seed {seed}");
             // Profiles for every non-source operator; none for sources.
             for op in graph.operators() {
@@ -280,7 +321,13 @@ mod tests {
                     "seed {seed}: {op}"
                 );
             }
-            assert_eq!(s.sources.len(), 1, "seed {seed}");
+            // Every source (one, or several for MultiSource) carries the
+            // workload's spec.
+            assert_eq!(s.sources.len(), graph.sources().len(), "seed {seed}");
+            assert!(!s.sources.is_empty(), "seed {seed}");
+            for spec in s.sources.values() {
+                assert_eq!(*spec, s.workload.spec, "seed {seed}");
+            }
             assert!(s.initial.validate(graph).is_ok(), "seed {seed}");
         }
     }
@@ -304,9 +351,35 @@ mod tests {
 
     #[test]
     fn optimal_parallelism_is_minimal_and_sufficient() {
-        let cfg = GeneratorConfig::default();
-        for seed in 0..60 {
-            let s = ScenarioSpec::generate(seed, &cfg);
+        // The default config plus one restricted config per workload family
+        // (so the analytic-optimum invariant is exercised on every
+        // `WorkloadShape`, including the skew-plateau cases).
+        let mut configs = vec![GeneratorConfig::default()];
+        for workload in WorkloadShape::ALL {
+            configs.push(GeneratorConfig {
+                workloads: vec![workload],
+                ..Default::default()
+            });
+        }
+        for shape in TopologyShape::ALL {
+            configs.push(GeneratorConfig {
+                shapes: vec![shape],
+                ..Default::default()
+            });
+        }
+        for cfg in &configs {
+            for seed in 0..20 {
+                check_optimum_minimal_and_sufficient(seed, cfg);
+            }
+        }
+        for seed in 20..60 {
+            check_optimum_minimal_and_sufficient(seed, &configs[0]);
+        }
+    }
+
+    fn check_optimum_minimal_and_sufficient(seed: u64, cfg: &GeneratorConfig) {
+        {
+            let s = ScenarioSpec::generate(seed, cfg);
             let targets = s.target_rates(s.workload.final_rate);
             for (&op, &p) in &s.optimal_parallelism() {
                 let profile = &s.profiles[&op];

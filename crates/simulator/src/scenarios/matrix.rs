@@ -8,6 +8,18 @@
 //! the same runs for comparison. Outcomes also record SASO-style stability
 //! (direction reversals, post-convergence actions) and final over/under
 //! provisioning, which future accuracy and ablation experiments reuse.
+//!
+//! # Parallel sharded execution
+//!
+//! The matrix is embarrassingly parallel: each *cell* — one
+//! `(scenario, controller)` pair — is a pure function of
+//! `(base_seed + scenario_index, controller)`. [`ScenarioMatrix::run`]
+//! fans the cells out over a work-queue of worker threads (the vendored
+//! `crossbeam` channel/scope primitives) and merges outcomes back **by
+//! cell index**, so the report is bit-identical to the sequential runner
+//! regardless of thread count or scheduling order. Every cell regenerates
+//! its scenario from its own seed and drives its own engine RNG — no state
+//! is shared between cells beyond the immutable config.
 
 use std::collections::BTreeMap;
 
@@ -76,12 +88,16 @@ pub struct MatrixConfig {
     pub tick_ns: u64,
     /// Parallelism cap handed to the DS2 policy.
     pub max_parallelism: usize,
+    /// Worker threads for the sharded runner; `0` = one per available CPU.
+    /// Results are bit-identical for every value (including `1`, the
+    /// sequential path).
+    pub threads: usize,
 }
 
 impl Default for MatrixConfig {
     fn default() -> Self {
         Self {
-            scenarios: 100,
+            scenarios: 1_000,
             base_seed: 0xD52,
             controllers: ControllerKind::ALL.to_vec(),
             generator: GeneratorConfig::default(),
@@ -89,12 +105,13 @@ impl Default for MatrixConfig {
             reconfig_latency_ns: 10_000_000_000,
             tick_ns: 25_000_000,
             max_parallelism: 64,
+            threads: 0,
         }
     }
 }
 
 /// The scored outcome of one scenario × controller run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// Seed regenerating the scenario exactly.
     pub seed: u64,
@@ -283,29 +300,106 @@ impl ScenarioMatrix {
         &self.config
     }
 
+    /// The number of worker threads the runner will actually use.
+    pub fn effective_threads(&self) -> usize {
+        let cells = self.config.scenarios * self.config.controllers.len();
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        threads.clamp(1, cells.max(1))
+    }
+
     /// Runs the full cross-product and scores every run.
+    ///
+    /// Cells are sharded over [`effective_threads`](Self::effective_threads)
+    /// workers; the report is bit-identical for any thread count.
     pub fn run(&self) -> MatrixReport {
         self.run_with(|_, _| {})
     }
 
     /// Like [`run`](Self::run), invoking `observer` with each scenario and
     /// its freshly scored outcome (progress reporting, per-run logging).
+    ///
+    /// With one worker thread the observer sees cells in matrix order
+    /// (scenario-major); with several it sees them in completion order. The
+    /// returned report is ordered and bit-identical either way.
     pub fn run_with<F>(&self, mut observer: F) -> MatrixReport
     where
         F: FnMut(&ScenarioSpec, &ScenarioOutcome),
     {
-        let mut outcomes =
-            Vec::with_capacity(self.config.scenarios * self.config.controllers.len());
-        for i in 0..self.config.scenarios {
-            let seed = self.config.base_seed + i as u64;
-            let spec = ScenarioSpec::generate(seed, &self.config.generator);
-            for &kind in &self.config.controllers {
-                let outcome = self.run_one(&spec, kind);
-                observer(&spec, &outcome);
-                outcomes.push(outcome);
+        let n_controllers = self.config.controllers.len();
+        let cells = self.config.scenarios * n_controllers;
+        let threads = self.effective_threads();
+
+        if threads <= 1 || cells <= 1 {
+            // Sequential path: generate each scenario once and drive every
+            // controller over it in matrix order.
+            let mut outcomes = Vec::with_capacity(cells);
+            for i in 0..self.config.scenarios {
+                let seed = self.config.base_seed + i as u64;
+                let spec = ScenarioSpec::generate(seed, &self.config.generator);
+                for &kind in &self.config.controllers {
+                    let outcome = self.run_one(&spec, kind);
+                    observer(&spec, &outcome);
+                    outcomes.push(outcome);
+                }
             }
+            return MatrixReport { outcomes };
         }
-        MatrixReport { outcomes }
+
+        // Parallel path: a bounded work queue of cell indices fanned out
+        // over scoped workers. Each worker regenerates its cell's scenario
+        // from `(base_seed, scenario_index)` — generation is a pure function
+        // of the seed, so no cross-cell state exists and the outcome of a
+        // cell is independent of which worker ran it and when. Outcomes are
+        // merged into their cell's slot, reproducing matrix order exactly.
+        let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+        slots.resize_with(cells, || None);
+        crossbeam::thread::scope(|scope| {
+            let (work_tx, work_rx) = crossbeam::channel::unbounded::<usize>();
+            let (result_tx, result_rx) =
+                crossbeam::channel::bounded::<(usize, ScenarioSpec, ScenarioOutcome)>(threads * 2);
+            for cell in 0..cells {
+                work_tx.send(cell).expect("queue open");
+            }
+            drop(work_tx);
+
+            for _ in 0..threads {
+                let work_rx = work_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(cell) = work_rx.recv() {
+                        let scenario_index = cell / n_controllers;
+                        let kind = self.config.controllers[cell % n_controllers];
+                        let seed = self.config.base_seed + scenario_index as u64;
+                        let spec = ScenarioSpec::generate(seed, &self.config.generator);
+                        let outcome = self.run_one(&spec, kind);
+                        if result_tx.send((cell, spec, outcome)).is_err() {
+                            // Collector gone (panic unwinding); stop early.
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            while let Ok((cell, spec, outcome)) = result_rx.recv() {
+                observer(&spec, &outcome);
+                slots[cell] = Some(outcome);
+            }
+        })
+        .expect("matrix worker panicked");
+
+        MatrixReport {
+            outcomes: slots
+                .into_iter()
+                .map(|s| s.expect("every cell ran exactly once"))
+                .collect(),
+        }
     }
 
     /// Runs one scenario under one controller and scores the result.
@@ -595,31 +689,167 @@ mod tests {
     }
 
     #[test]
-    fn skew_scenarios_provision_for_the_hot_instance() {
-        // A key-skew scenario's optimum must exceed the uniform optimum for
-        // the skewed operator.
-        let cfg = GeneratorConfig {
-            workloads: vec![WorkloadShape::KeySkew],
-            shapes: vec![TopologyShape::Chain],
+    fn parallel_outcomes_equal_sequential_bit_for_bit() {
+        // The determinism guard of the sharded runner: the same config run
+        // sequentially and with several workers must produce *identical*
+        // `ScenarioOutcome`s in identical order.
+        let mut cfg = small_config(4);
+        cfg.controllers = vec![ControllerKind::Ds2, ControllerKind::Dhalion];
+        cfg.threads = 1;
+        let sequential = ScenarioMatrix::new(cfg.clone()).run();
+        for threads in [2, 3, 8] {
+            cfg.threads = threads;
+            let parallel = ScenarioMatrix::new(cfg.clone()).run();
+            assert_eq!(
+                sequential.outcomes, parallel.outcomes,
+                "threads={threads} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_observer_sees_every_cell_once() {
+        let mut cfg = small_config(5);
+        cfg.controllers = vec![ControllerKind::Ds2];
+        cfg.threads = 4;
+        let mut seen = Vec::new();
+        let report = ScenarioMatrix::new(cfg.clone()).run_with(|spec, o| {
+            assert_eq!(spec.seed, o.seed);
+            seen.push(o.seed);
+        });
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..5).map(|i| cfg.base_seed + i).collect();
+        assert_eq!(seen, expected, "observer missed or duplicated cells");
+        assert_eq!(report.outcomes.len(), 5);
+        // Report stays in matrix order regardless of completion order.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.seed, cfg.base_seed + i as u64);
+        }
+    }
+
+    #[test]
+    fn effective_threads_bounds() {
+        let mut cfg = small_config(2);
+        cfg.controllers = vec![ControllerKind::Ds2];
+        cfg.threads = 64;
+        // Never more workers than cells.
+        assert_eq!(ScenarioMatrix::new(cfg.clone()).effective_threads(), 2);
+        cfg.threads = 1;
+        assert_eq!(ScenarioMatrix::new(cfg.clone()).effective_threads(), 1);
+        cfg.threads = 0;
+        assert!(ScenarioMatrix::new(cfg).effective_threads() >= 1);
+    }
+
+    #[test]
+    fn new_families_run_through_the_matrix() {
+        // Sawtooth / flash-crowd / spike+skew workloads and multi-source
+        // topologies flow through generation, simulation and scoring.
+        let cfg = MatrixConfig {
+            scenarios: 8,
+            controllers: vec![ControllerKind::Ds2],
+            threads: 2,
+            generator: GeneratorConfig {
+                workloads: vec![
+                    WorkloadShape::Sawtooth,
+                    WorkloadShape::FlashCrowd,
+                    WorkloadShape::SpikeSkew,
+                ],
+                shapes: vec![TopologyShape::MultiSource, TopologyShape::Chain],
+                operators: (3, 8),
+                run_duration_ns: 180_000_000_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let mut found = false;
-        for seed in 0..80 {
-            let spec = ScenarioSpec::generate(seed, &cfg);
-            let optimal = spec.optimal_parallelism();
-            for (op, profile) in &spec.profiles {
-                let Some(hot) = profile.skew_hot_fraction else {
-                    continue;
-                };
-                let p = optimal[op];
-                // Skew only binds once the hot share exceeds the fair
-                // share; below that the weights degrade to uniform.
-                if p > 1 && hot > 1.0 / p as f64 {
-                    assert!(profile.effective_capacity(p) < profile.real_capacity(p) * p as f64);
-                    found = true;
+        let report = ScenarioMatrix::new(cfg).run();
+        assert_eq!(report.outcomes.len(), 8);
+        for o in &report.outcomes {
+            assert!(o.operators >= 3);
+            assert!(
+                o.optimal_instances > 0,
+                "seed {}: no analytic optimum",
+                o.seed
+            );
+        }
+    }
+
+    #[test]
+    fn skew_scenarios_provision_for_the_hot_instance() {
+        // A skewed scenario's optimum must exceed the uniform optimum for
+        // the skewed operator — for the pure hot-key family and for the
+        // correlated spike+skew family alike.
+        for workload in [WorkloadShape::KeySkew, WorkloadShape::SpikeSkew] {
+            let cfg = GeneratorConfig {
+                workloads: vec![workload],
+                shapes: vec![TopologyShape::Chain],
+                ..Default::default()
+            };
+            let mut found = false;
+            for seed in 0..80 {
+                let spec = ScenarioSpec::generate(seed, &cfg);
+                let optimal = spec.optimal_parallelism();
+                for (op, profile) in &spec.profiles {
+                    let Some(hot) = profile.skew_hot_fraction else {
+                        continue;
+                    };
+                    let p = optimal[op];
+                    // Skew only binds once the hot share exceeds the fair
+                    // share; below that the weights degrade to uniform.
+                    if p > 1 && hot > 1.0 / p as f64 {
+                        assert!(
+                            profile.effective_capacity(p) < profile.real_capacity(p) * p as f64
+                        );
+                        found = true;
+                    }
                 }
             }
+            assert!(
+                found,
+                "{workload:?}: no skewed operator needed parallelism > 1"
+            );
         }
-        assert!(found, "no skewed operator needed parallelism > 1");
+    }
+
+    #[test]
+    fn multi_source_optimum_accounts_for_summed_feeds() {
+        // In a multi-source topology every feed runs the full schedule, so
+        // the merge operator's analytic target is `n_sources × final_rate`
+        // and its optimum reflects the summed load.
+        let cfg = GeneratorConfig {
+            workloads: vec![WorkloadShape::Constant],
+            shapes: vec![TopologyShape::MultiSource],
+            operators: (4, 10),
+            ..Default::default()
+        };
+        let mut checked = 0;
+        for seed in 0..40 {
+            let spec = ScenarioSpec::generate(seed, &cfg);
+            let graph = &spec.topology.graph;
+            let n_sources = graph.sources().len();
+            if n_sources < 2 {
+                continue;
+            }
+            let targets = spec.target_rates(spec.workload.final_rate);
+            // The merge operator: the unique downstream of every source.
+            let merge = graph
+                .downstream_edges(graph.sources()[0])
+                .next()
+                .unwrap()
+                .to;
+            assert!(
+                (targets[&merge] - n_sources as f64 * spec.workload.final_rate).abs() < 1e-6,
+                "seed {seed}: merge target {} != {n_sources} × {}",
+                targets[&merge],
+                spec.workload.final_rate
+            );
+            // And the optimum is enough for the summed feeds.
+            let p = spec.optimal_parallelism()[&merge];
+            assert!(
+                spec.profiles[&merge].effective_capacity(p) >= targets[&merge] * (1.0 - 1e-9),
+                "seed {seed}: optimum {p} insufficient for summed feeds"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10, "only {checked} multi-source scenarios seen");
     }
 }

@@ -7,17 +7,21 @@
 //! This module makes the claim falsifiable at scale:
 //!
 //! * [`topology`] — random DAG shapes (chains, diamonds, fan-in/fan-out,
-//!   layered) of 2–12 operators;
+//!   layered, multi-source ingestion) of 2–12 operators;
 //! * [`workload`] — offered-rate shapes (constant, step, diurnal sine,
-//!   spike) plus hot-key skew;
+//!   spike, sawtooth ramp cycles, flash crowds) plus hot-key skew, alone
+//!   and correlated with a rate spike;
 //! * [`generator`] — seeded assembly of complete scenarios with analytic
 //!   ground-truth optimal parallelism;
 //! * [`matrix`] — the cross-product runner scoring steps-to-convergence,
 //!   over/under-provisioning and SASO-style stability for DS2 and each
-//!   baseline controller.
+//!   baseline controller, sharded over worker threads with bit-identical
+//!   results for any thread count.
 //!
-//! Everything is a pure function of the seed: a failing scenario is
-//! reported as its seed and regenerates bit-for-bit.
+//! Everything is a pure function of the seed: scenario `i` of a matrix
+//! uses seed `base_seed + i`, each cell's engine RNG derives from that
+//! seed, and a failing scenario is reported as its seed and regenerates
+//! bit-for-bit.
 //!
 //! ```
 //! use ds2_simulator::scenarios::{

@@ -1,10 +1,13 @@
 //! Random dataflow topologies for the scenario matrix.
 //!
-//! Every shape is a single-source DAG of 2–12 operators, mirroring the
-//! structures the paper evaluates (word-count chains, Nexmark joins with
-//! fan-in, multi-output pipelines with fan-out) plus layered "diamond"
+//! Every shape is a DAG of 2–12 operators, mirroring the structures the
+//! paper evaluates (word-count chains, Nexmark joins with fan-in,
+//! multi-output pipelines with fan-out) plus layered "diamond"
 //! compositions that exercise the policy's topological traversal on
-//! non-trivial in/out degrees.
+//! non-trivial in/out degrees, and multi-source ingestion graphs (several
+//! independent feeds merging into one pipeline — the Kafka-multi-topic
+//! shape). All families except [`TopologyShape::MultiSource`] have exactly
+//! one source.
 
 use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
 use rand::rngs::SmallRng;
@@ -25,16 +28,21 @@ pub enum TopologyShape {
     /// Random layered DAG: every operator connects to one or more operators
     /// of the next layer.
     Layered,
+    /// Several independent sources merging into one downstream pipeline —
+    /// multi-topic ingestion, where the merge stage sees the *sum* of all
+    /// feeds.
+    MultiSource,
 }
 
 impl TopologyShape {
     /// All shapes, in matrix iteration order.
-    pub const ALL: [TopologyShape; 5] = [
+    pub const ALL: [TopologyShape; 6] = [
         TopologyShape::Chain,
         TopologyShape::Diamond,
         TopologyShape::FanOut,
         TopologyShape::FanIn,
         TopologyShape::Layered,
+        TopologyShape::MultiSource,
     ];
 
     /// Short name for reports.
@@ -45,19 +53,26 @@ impl TopologyShape {
             TopologyShape::FanOut => "fan_out",
             TopologyShape::FanIn => "fan_in",
             TopologyShape::Layered => "layered",
+            TopologyShape::MultiSource => "multi_source",
         }
+    }
+
+    /// Parses a short name as printed in reports.
+    pub fn from_name(name: &str) -> Option<TopologyShape> {
+        TopologyShape::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
 /// A generated topology: the logical graph plus its operators in creation
-/// order (`ids[0]` is always the single source).
+/// order (`ids` starts with the sources; every family except
+/// [`TopologyShape::MultiSource`] has exactly one).
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// The family this graph was drawn from.
     pub shape: TopologyShape,
     /// The built dataflow graph.
     pub graph: LogicalGraph,
-    /// All operators, source first.
+    /// All operators, sources first.
     pub ids: Vec<OperatorId>,
 }
 
@@ -179,6 +194,38 @@ impl Topology {
                 }
                 ids.push(merge);
             }
+            TopologyShape::MultiSource if workers < 2 => {
+                // Not enough operators for a second source + merge; a chain
+                // keeps the requested count exact.
+                let op = b.operator("op0");
+                b.connect(src, op);
+                ids.push(op);
+            }
+            TopologyShape::MultiSource => {
+                // {src0, src1[, src2]} -> merge [-> tail…]. Extra sources
+                // count against the operator budget; every source feeds the
+                // merge stage, which therefore sees the sum of all feeds.
+                let extra = rng.gen_range(1..=(workers - 1).min(2));
+                let mut extra_sources = Vec::with_capacity(extra);
+                for si in 0..extra {
+                    let s = b.operator(format!("source{}", si + 1));
+                    ids.push(s);
+                    extra_sources.push(s);
+                }
+                let merge = b.operator("merge");
+                b.connect(src, merge);
+                for &s in &extra_sources {
+                    b.connect(s, merge);
+                }
+                ids.push(merge);
+                let mut prev = merge;
+                for i in (extra + 1)..workers {
+                    let op = b.operator(format!("tail{i}"));
+                    b.connect(prev, op);
+                    ids.push(op);
+                    prev = op;
+                }
+            }
             TopologyShape::Layered => {
                 // Random layer widths summing to `workers`.
                 let mut layers: Vec<usize> = Vec::new();
@@ -228,7 +275,8 @@ impl Topology {
         }
 
         let graph = b.build().expect("generated topology is a valid DAG");
-        debug_assert_eq!(graph.sources(), &[src]);
+        debug_assert!(graph.sources().contains(&src));
+        debug_assert!(shape == TopologyShape::MultiSource || graph.sources() == [src]);
         Topology { shape, graph, ids }
     }
 }
@@ -239,12 +287,19 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn all_shapes_build_valid_single_source_dags() {
+    fn all_shapes_build_valid_dags() {
         let mut rng = SmallRng::seed_from_u64(7);
         for shape in TopologyShape::ALL {
             for n in 2..=12 {
                 let t = Topology::generate(shape, n, &mut rng);
-                assert_eq!(t.graph.sources().len(), 1, "{shape:?} n={n}");
+                let n_sources = t.graph.sources().len();
+                if shape == TopologyShape::MultiSource && n >= 3 {
+                    assert!((2..=3).contains(&n_sources), "{shape:?} n={n}");
+                } else {
+                    assert_eq!(n_sources, 1, "{shape:?} n={n}");
+                }
+                // Sources lead the creation-order id list.
+                assert_eq!(&t.ids[..n_sources], t.graph.sources(), "{shape:?} n={n}");
                 assert_eq!(t.graph.len(), t.ids.len(), "{shape:?} n={n}");
                 assert_eq!(t.graph.len(), n, "{shape:?} must honour n_ops exactly");
                 // Every non-source operator is reachable (has upstream).
@@ -275,9 +330,35 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = Topology::generate(TopologyShape::Layered, 9, &mut SmallRng::seed_from_u64(11));
-        let b = Topology::generate(TopologyShape::Layered, 9, &mut SmallRng::seed_from_u64(11));
-        assert_eq!(a.ids, b.ids);
-        assert_eq!(a.graph.edges(), b.graph.edges());
+        for shape in TopologyShape::ALL {
+            for n in [3, 6, 9, 12] {
+                let a = Topology::generate(shape, n, &mut SmallRng::seed_from_u64(11));
+                let b = Topology::generate(shape, n, &mut SmallRng::seed_from_u64(11));
+                assert_eq!(a.ids, b.ids, "{shape:?} n={n}");
+                assert_eq!(a.graph.edges(), b.graph.edges(), "{shape:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_merges_every_feed() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for n in 3..=12 {
+            let t = Topology::generate(TopologyShape::MultiSource, n, &mut rng);
+            let sources = t.graph.sources().to_vec();
+            assert!(sources.len() >= 2, "n={n}");
+            // Every source feeds the same merge operator.
+            let merge_targets: std::collections::BTreeSet<_> = sources
+                .iter()
+                .flat_map(|&s| t.graph.downstream_edges(s).map(|e| e.to))
+                .collect();
+            assert_eq!(merge_targets.len(), 1, "n={n}: sources must share a merge");
+            let merge = *merge_targets.iter().next().unwrap();
+            assert_eq!(
+                t.graph.upstream_edges(merge).count(),
+                sources.len(),
+                "n={n}"
+            );
+        }
     }
 }

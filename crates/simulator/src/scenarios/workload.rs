@@ -2,14 +2,17 @@
 //! the run, mirroring the paper's evaluation conditions (§5.2 constant
 //! rates, §5.3 step changes, production-style diurnal curves, transient
 //! spikes) plus hot-key skew (§4.2.3), which stresses the policy through
-//! uneven per-instance load rather than through the rate.
+//! uneven per-instance load rather than through the rate, and three
+//! production-style composites: sawtooth ramp cycles, flash crowds that
+//! recede to an elevated plateau, and rate spikes correlated with a hot
+//! key.
 
 use crate::source::{RateSchedule, SourceSpec};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// The family a generated workload belongs to.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadShape {
     /// Fixed offered rate for the whole run.
     Constant,
@@ -22,16 +25,31 @@ pub enum WorkloadShape {
     /// Constant rate with a hot key concentrating load on one instance of a
     /// randomly chosen operator.
     KeySkew,
+    /// Repeated ramp cycles: the rate climbs in small increments, drops
+    /// sharply back to base, and climbs again (batch-ingest or compaction
+    /// cycles); the final phase is back at the base rate.
+    Sawtooth,
+    /// A sudden jump to a multiple of the base rate that recedes to an
+    /// elevated plateau instead of returning to base (a viral event whose
+    /// audience partly sticks around) — the final phase is the plateau.
+    FlashCrowd,
+    /// A transient rate spike *correlated with* a hot key on one operator:
+    /// the rate stress and the skew stress arrive together, the way real
+    /// flash events concentrate on one entity.
+    SpikeSkew,
 }
 
 impl WorkloadShape {
     /// All shapes, in matrix iteration order.
-    pub const ALL: [WorkloadShape; 5] = [
+    pub const ALL: [WorkloadShape; 8] = [
         WorkloadShape::Constant,
         WorkloadShape::Step,
         WorkloadShape::DiurnalSine,
         WorkloadShape::Spike,
         WorkloadShape::KeySkew,
+        WorkloadShape::Sawtooth,
+        WorkloadShape::FlashCrowd,
+        WorkloadShape::SpikeSkew,
     ];
 
     /// Short name for reports.
@@ -42,7 +60,15 @@ impl WorkloadShape {
             WorkloadShape::DiurnalSine => "diurnal",
             WorkloadShape::Spike => "spike",
             WorkloadShape::KeySkew => "key_skew",
+            WorkloadShape::Sawtooth => "sawtooth",
+            WorkloadShape::FlashCrowd => "flash_crowd",
+            WorkloadShape::SpikeSkew => "spike_skew",
         }
+    }
+
+    /// Parses a short name as printed in reports.
+    pub fn from_name(name: &str) -> Option<WorkloadShape> {
+        WorkloadShape::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -164,6 +190,82 @@ impl Workload {
                     skew_hot_fraction: Some(hot),
                 }
             }
+            WorkloadShape::Sawtooth => {
+                // 2–3 ramp cycles over the first ~70% of the run: each tooth
+                // climbs from base towards `peak` in 4 increments and then
+                // drops sharply back to base. The final drop is the last
+                // change, so convergence is judged against the base rate
+                // with plenty of tail left to settle.
+                let teeth = rng.gen_range(2..=3u64);
+                let ramp_steps = 4u64;
+                let peak = base * rng.gen_range(1.8..2.8);
+                let active_ns = (run_duration_ns as f64 * 0.7) as u64;
+                let tooth_ns = (active_ns / teeth).max(1);
+                let seg_ns = (tooth_ns / (ramp_steps + 1)).max(1);
+                let mut steps = Vec::new();
+                let mut last_change_ns = 0;
+                for tooth in 0..teeth {
+                    let t0 = tooth * tooth_ns;
+                    for s in 0..ramp_steps {
+                        let frac = s as f64 / (ramp_steps - 1) as f64;
+                        steps.push((t0 + s * seg_ns, base + (peak - base) * frac));
+                    }
+                    // Sharp drop back to base.
+                    last_change_ns = t0 + ramp_steps * seg_ns;
+                    steps.push((last_change_ns, base));
+                }
+                let schedule = RateSchedule::steps(steps);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: base,
+                    peak_rate: peak,
+                    last_change_ns,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::FlashCrowd => {
+                // Sudden 3–5x jump at 30–50% of the run, a short peak, then
+                // recession to a plateau well above base (part of the crowd
+                // stays). The plateau is the rate the final deployment must
+                // sustain.
+                let t0 = (run_duration_ns as f64 * rng.gen_range(0.3..0.5)) as u64;
+                let factor = rng.gen_range(3.0..5.0);
+                let peak = (base * factor).min(hi * 3.0);
+                let peak_len = (run_duration_ns as f64 * rng.gen_range(0.08..0.12)) as u64;
+                let plateau = base + (peak - base) * rng.gen_range(0.3..0.5);
+                let last_change_ns = t0 + peak_len;
+                let schedule =
+                    RateSchedule::steps(vec![(0, base), (t0, peak), (last_change_ns, plateau)]);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: plateau,
+                    peak_rate: peak,
+                    last_change_ns,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::SpikeSkew => {
+                // The Spike schedule with a correlated hot key: a 2.5–4x
+                // burst ending before the last third, while 25–50% of one
+                // operator's input concentrates on instance 0 for the whole
+                // run. Tests the policy under both stresses at once.
+                let start = (run_duration_ns as f64 * rng.gen_range(0.25..0.45)) as u64;
+                let len = (run_duration_ns as f64 * 0.12) as u64;
+                let burst = base * rng.gen_range(2.5..4.0);
+                let hot = rng.gen_range(0.25..0.5);
+                let schedule =
+                    RateSchedule::steps(vec![(0, base), (start, burst), (start + len, base)]);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: base,
+                    peak_rate: burst,
+                    last_change_ns: start + len,
+                    skew_hot_fraction: Some(hot),
+                }
+            }
         }
     }
 }
@@ -195,14 +297,60 @@ mod tests {
     }
 
     #[test]
-    fn skew_only_on_key_skew() {
+    fn skew_only_on_skewed_shapes() {
         let mut rng = SmallRng::seed_from_u64(6);
         for shape in WorkloadShape::ALL {
             let w = Workload::generate(shape, RUN, (500.0, 5_000.0), &mut rng);
-            assert_eq!(
-                w.skew_hot_fraction.is_some(),
-                w.shape == WorkloadShape::KeySkew
+            let skewed = matches!(w.shape, WorkloadShape::KeySkew | WorkloadShape::SpikeSkew);
+            assert_eq!(w.skew_hot_fraction.is_some(), skewed, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn sawtooth_ramps_and_resets() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let w = Workload::generate(WorkloadShape::Sawtooth, RUN, (500.0, 5_000.0), &mut rng);
+            // Ends back at base with the peak strictly above it.
+            assert!(w.peak_rate > w.final_rate * 1.5, "peak {}", w.peak_rate);
+            // The final drop leaves at least the last 30% of the run to
+            // settle.
+            assert!(w.last_change_ns <= (RUN as f64 * 0.7) as u64 + 1);
+            // At least two distinct climbs: the rate right before the last
+            // drop is above base.
+            let before_drop = w.spec.schedule.rate_at(w.last_change_ns - 1);
+            assert!(before_drop > w.final_rate * 1.5, "no ramp before drop");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_recedes_to_elevated_plateau() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        for _ in 0..30 {
+            let w = Workload::generate(WorkloadShape::FlashCrowd, RUN, (500.0, 5_000.0), &mut rng);
+            let base = w.spec.schedule.rate_at(0);
+            // Plateau strictly between base and peak: the crowd partly
+            // stays.
+            assert!(
+                w.final_rate > base * 1.2,
+                "plateau {} base {base}",
+                w.final_rate
             );
+            assert!(w.peak_rate > w.final_rate * 1.2, "peak not above plateau");
+            assert!(w.last_change_ns < (RUN as f64 * 0.7) as u64);
+        }
+    }
+
+    #[test]
+    fn spike_skew_combines_burst_and_hot_key() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let w = Workload::generate(WorkloadShape::SpikeSkew, RUN, (500.0, 5_000.0), &mut rng);
+            let hot = w.skew_hot_fraction.expect("correlated skew present");
+            assert!((0.25..0.5).contains(&hot));
+            // The burst is transient: the schedule returns to the base rate.
+            assert!(w.peak_rate > w.final_rate * 2.0);
+            assert!((w.spec.schedule.rate_at(RUN) - w.final_rate).abs() < 1e-9);
         }
     }
 

@@ -1,24 +1,40 @@
 //! The repo's headline regression test: DS2 converges within **three
-//! scaling steps** (paper §3.4, §5.4) across a fixed-seed 100-scenario
+//! scaling steps** (paper §3.4, §5.4) across a fixed-seed 1000-scenario
 //! matrix of random topologies, workloads, cost profiles and starting
-//! deployments — and does so deterministically.
+//! deployments — run through the parallel sharded engine, and
+//! deterministically so: a small sequential-vs-parallel equivalence test
+//! guards that outcomes are bit-identical for any thread count.
 //!
 //! Failures are printed as scenario seeds: regenerate any of them with
-//! `ScenarioSpec::generate(seed, &claim_generator_config())`.
+//! `ScenarioSpec::generate(seed, &claim_generator_config())`, or drive the
+//! full closed loop on one seed with
+//! `cargo run --release -p ds2-bench --bin scenario_matrix -- --seed <seed> --scenarios 1 ds2`.
+//!
+//! The 1000-scenario matrix is expensive, so it runs **once** (lazily,
+//! shared through a `OnceLock`) and every assertion — the three-step
+//! claim, provisioning accuracy, convergence health — reads the same
+//! report.
+
+use std::sync::OnceLock;
 
 use ds2::simulator::scenarios::{
-    ControllerKind, GeneratorConfig, MatrixConfig, ScenarioMatrix, TopologyShape, WorkloadShape,
+    ControllerKind, GeneratorConfig, MatrixConfig, MatrixReport, ScenarioMatrix, TopologyShape,
+    WorkloadShape,
 };
 
-/// Generator settings for the convergence claim: every topology family,
-/// rate-reachable workloads (a hot key can make the optimal parallelism
-/// non-existent — §4.2.3 — which is measured separately below).
+/// Generator settings for the convergence claim: every topology family
+/// (including multi-source ingestion), rate-reachable workloads — a hot
+/// key can make the optimal parallelism non-existent (§4.2.3) and a
+/// diurnal curve keeps moving the target, so those are measured separately
+/// below.
 fn claim_generator_config() -> GeneratorConfig {
     GeneratorConfig {
         workloads: vec![
             WorkloadShape::Constant,
             WorkloadShape::Step,
             WorkloadShape::Spike,
+            WorkloadShape::Sawtooth,
+            WorkloadShape::FlashCrowd,
         ],
         run_duration_ns: 200_000_000_000,
         ..Default::default()
@@ -27,7 +43,7 @@ fn claim_generator_config() -> GeneratorConfig {
 
 fn claim_matrix_config() -> MatrixConfig {
     MatrixConfig {
-        scenarios: 100,
+        scenarios: 1_000,
         base_seed: 0xD52_0001,
         controllers: vec![ControllerKind::Ds2],
         generator: claim_generator_config(),
@@ -35,14 +51,19 @@ fn claim_matrix_config() -> MatrixConfig {
     }
 }
 
+/// The shared 1000-scenario DS2 report (computed once per test binary).
+fn claim_report() -> &'static MatrixReport {
+    static REPORT: OnceLock<MatrixReport> = OnceLock::new();
+    REPORT.get_or_init(|| ScenarioMatrix::new(claim_matrix_config()).run())
+}
+
 /// DS2 settles in at most three scaling steps on at least 95% of the
-/// matrix, and two consecutive runs produce identical statistics.
+/// 1000-scenario matrix.
 #[test]
 fn ds2_converges_within_three_steps_on_95_percent() {
-    let matrix = ScenarioMatrix::new(claim_matrix_config());
-    let report = matrix.run();
+    let report = claim_report();
     let summary = report.summary(ControllerKind::Ds2);
-    assert_eq!(summary.runs, 100);
+    assert_eq!(summary.runs, 1_000);
 
     let failing = report.failing_seeds("ds2");
     assert!(
@@ -53,21 +74,25 @@ fn ds2_converges_within_three_steps_on_95_percent() {
         summary.runs,
         report.render(&[ControllerKind::Ds2]),
     );
+}
 
-    // Determinism: an identical second run yields identical statistics.
-    let second = matrix.run();
-    assert_eq!(report.outcomes.len(), second.outcomes.len());
-    for (a, b) in report.outcomes.iter().zip(&second.outcomes) {
-        assert_eq!(a.seed, b.seed);
-        assert_eq!(a.decisions_total, b.decisions_total, "seed {}", a.seed);
-        assert_eq!(a.steps_final_phase, b.steps_final_phase, "seed {}", a.seed);
-        assert_eq!(a.converged, b.converged, "seed {}", a.seed);
-        assert_eq!(a.final_instances, b.final_instances, "seed {}", a.seed);
-        assert_eq!(a.reversals, b.reversals, "seed {}", a.seed);
-        assert!(
-            (a.final_achieved_ratio - b.final_achieved_ratio).abs() < 1e-12,
-            "seed {}",
-            a.seed
+/// The determinism guard of the parallel engine: the same configuration
+/// run sequentially (1 thread) and sharded (several threads) produces
+/// bit-identical `ScenarioOutcome`s in identical order.
+#[test]
+fn parallel_runner_is_bit_identical_to_sequential() {
+    let mut cfg = claim_matrix_config();
+    cfg.scenarios = 8;
+    cfg.controllers = vec![ControllerKind::Ds2, ControllerKind::Threshold];
+    cfg.threads = 1;
+    let sequential = ScenarioMatrix::new(cfg.clone()).run();
+    assert_eq!(sequential.outcomes.len(), 16);
+    for threads in [2, 5] {
+        cfg.threads = threads;
+        let parallel = ScenarioMatrix::new(cfg.clone()).run();
+        assert_eq!(
+            sequential.outcomes, parallel.outcomes,
+            "threads={threads} diverged from the sequential runner"
         );
     }
 }
@@ -78,11 +103,12 @@ fn ds2_converges_within_three_steps_on_95_percent() {
 /// suppression on small dataflows).
 #[test]
 fn ds2_final_deployments_are_accurate() {
-    let mut cfg = claim_matrix_config();
-    cfg.scenarios = 40;
-    let report = ScenarioMatrix::new(cfg).run();
+    let report = claim_report();
     let summary = report.summary(ControllerKind::Ds2);
-    assert!(summary.converged >= 36, "{summary:?}");
+    assert!(
+        summary.converged as f64 >= 0.9 * summary.runs as f64,
+        "{summary:?}"
+    );
     assert!(
         summary.mean_overprovision <= 2.5,
         "mean overprovision {} too high\n{}",
@@ -98,6 +124,24 @@ fn ds2_final_deployments_are_accurate() {
                 o.final_achieved_ratio
             );
         }
+    }
+}
+
+/// The matrix covers every expected scenario family: all five claim
+/// workloads (including the new sawtooth and flash-crowd families) and all
+/// six topology families (including multi-source ingestion) appear.
+#[test]
+fn claim_matrix_covers_all_families() {
+    let report = claim_report();
+    let workloads: std::collections::BTreeSet<&str> =
+        report.outcomes.iter().map(|o| o.workload).collect();
+    for w in claim_generator_config().workloads {
+        assert!(workloads.contains(w.name()), "missing workload {:?}", w);
+    }
+    let topologies: std::collections::BTreeSet<&str> =
+        report.outcomes.iter().map(|o| o.topology).collect();
+    for t in TopologyShape::ALL {
+        assert!(topologies.contains(t.name()), "missing topology {:?}", t);
     }
 }
 
@@ -159,18 +203,22 @@ fn ds2_is_stable_on_constant_workloads() {
     assert!(churn <= 2, "post-convergence churn across 15 runs: {churn}");
 }
 
-/// Key-skew scenarios (unreachable optima) and diurnal workloads run
-/// deterministically through the full matrix plumbing even when
-/// convergence is impossible; the runner must score them, not hang or
-/// panic.
+/// Key-skew scenarios (unreachable optima), correlated spike+skew, and
+/// diurnal workloads run deterministically through the full matrix
+/// plumbing even when convergence is impossible; the runner must score
+/// them, not hang or panic.
 #[test]
 fn skew_and_diurnal_scenarios_are_scored() {
     let cfg = MatrixConfig {
-        scenarios: 10,
+        scenarios: 12,
         base_seed: 0xD52_0401,
         controllers: vec![ControllerKind::Ds2],
         generator: GeneratorConfig {
-            workloads: vec![WorkloadShape::KeySkew, WorkloadShape::DiurnalSine],
+            workloads: vec![
+                WorkloadShape::KeySkew,
+                WorkloadShape::DiurnalSine,
+                WorkloadShape::SpikeSkew,
+            ],
             shapes: TopologyShape::ALL.to_vec(),
             run_duration_ns: 200_000_000_000,
             ..Default::default()
@@ -180,7 +228,7 @@ fn skew_and_diurnal_scenarios_are_scored() {
     let matrix = ScenarioMatrix::new(cfg);
     let a = matrix.run();
     let b = matrix.run();
-    assert_eq!(a.outcomes.len(), 10);
+    assert_eq!(a.outcomes.len(), 12);
     for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
         assert_eq!(x.decisions_total, y.decisions_total, "seed {}", x.seed);
         assert_eq!(x.converged, y.converged, "seed {}", x.seed);

@@ -1,14 +1,101 @@
-//! Offline shim for the `crossbeam::channel` subset this workspace uses:
-//! multi-producer multi-consumer bounded/unbounded channels with cloneable
-//! senders *and* receivers, `try_recv`, `recv`, and `recv_timeout`.
+//! Offline shim for the `crossbeam` subset this workspace uses:
 //!
-//! Built on `std::sync::{Mutex, Condvar}`; performance is adequate for the
-//! runtime crate's batch-granularity channels (hundreds of messages per
-//! second per channel, not millions).
+//! * [`channel`] — multi-producer multi-consumer bounded/unbounded channels
+//!   with cloneable senders *and* receivers, `try_recv`, `recv`, and
+//!   `recv_timeout`;
+//! * [`thread`] — scoped thread spawning (`crossbeam::thread::scope`),
+//!   letting worker threads borrow from the caller's stack.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` and `std::thread::scope`;
+//! performance is adequate for the runtime crate's batch-granularity
+//! channels (hundreds of messages per second per channel, not millions) and
+//! for the scenario matrix's coarse-grained work distribution (one message
+//! per multi-millisecond simulation run).
 
 #![forbid(unsafe_code)]
 
-/// MPMC channels (the only crossbeam module this workspace uses).
+/// Scoped threads: spawn workers that may borrow non-`'static` data.
+///
+/// Mirrors the `crossbeam::thread::scope` API shape on top of
+/// `std::thread::scope`. Unlike the real crossbeam, the spawn closure takes
+/// no `&Scope` argument (nested spawning goes through the scope handle the
+/// caller already holds), which is the only pattern this workspace uses.
+pub mod thread {
+    /// Handle for spawning threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined automatically (if not joined
+        /// explicitly) when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment can be
+    /// spawned; all unjoined threads are joined before `scope` returns.
+    ///
+    /// Returns `Ok` with the closure's result. (The real crossbeam returns
+    /// `Err` when a child thread panicked; `std::thread::scope` propagates
+    /// the panic instead, so the `Err` arm is never constructed here — the
+    /// `Result` wrapper only keeps call sites source-compatible.)
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move || x * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn scope_joins_unjoined_threads() {
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 8);
+        }
+    }
+}
+
+/// MPMC channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
