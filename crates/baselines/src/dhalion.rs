@@ -123,7 +123,7 @@ impl DhalionController {
     fn achieved_ratio(&self, snapshot: &MetricsSnapshot) -> Option<f64> {
         let mut min_ratio: Option<f64> = None;
         for &src in self.graph.sources() {
-            let offered = *snapshot.source_rates.get(&src)?;
+            let offered = snapshot.source_rate(src)?;
             if offered <= 0.0 {
                 continue;
             }

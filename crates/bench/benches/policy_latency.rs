@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ds2_core::deployment::Deployment;
 use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
-use ds2_core::policy::Ds2Policy;
+use ds2_core::policy::{Ds2Policy, PolicyWorkspace};
 use ds2_core::rates::InstanceMetrics;
 use ds2_core::snapshot::MetricsSnapshot;
 
@@ -89,5 +89,36 @@ fn bench_policy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policy);
+/// The hot-path variant: a caller-owned workspace reused across windows, as
+/// the Scaling Manager and the scenario matrix drive it. Zero allocations
+/// per call after warm-up (see `crates/bench/tests/alloc_counting.rs`).
+fn bench_policy_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ds2_policy_evaluate_into");
+    for &(ops, instances) in &[(5usize, 4usize), (20, 16), (100, 16), (500, 32)] {
+        let (graph, snap, deployment) = chain_scenario(ops, instances);
+        let policy = Ds2Policy::new();
+        let mut ws = PolicyWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ops}ops_x{instances}inst")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    policy
+                        .evaluate_into(
+                            std::hint::black_box(&graph),
+                            std::hint::black_box(&snap),
+                            std::hint::black_box(&deployment),
+                            &mut ws,
+                        )
+                        .unwrap()
+                        .plan
+                        .total_instances()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy, bench_policy_into);
 criterion_main!(benches);

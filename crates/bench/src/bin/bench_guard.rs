@@ -1,0 +1,166 @@
+//! Bench-regression smoke: compares a freshly measured policy-latency JSON
+//! against the committed baseline and fails (exit 1) when the median of the
+//! guarded benchmark regressed beyond the tolerance.
+//!
+//! Usage:
+//! `bench_guard <baseline.json> <fresh.json> [--bench NAME] [--tolerance PCT] [--calibrate NAME]`
+//!
+//! Defaults guard `ds2_policy_evaluate/100ops_x16inst` at 25% tolerance —
+//! wide enough for same-machine run-to-run noise, tight enough to catch a
+//! structural regression like reintroducing per-window allocation, which
+//! costs well over 25% (see BENCH_policy_latency history: the BTreeMap
+//! data plane sat at ~23µs median on this case, the dense one far below).
+//!
+//! **Cross-machine calibration.** The committed baseline was measured on
+//! one machine; CI runners are slower or faster, so comparing absolute
+//! nanoseconds would gate on hardware, not code. `--calibrate NAME`
+//! rescales the baseline by `fresh(NAME) / baseline(NAME)` before applying
+//! the tolerance: the reference benchmark (CI uses the tiny
+//! `ds2_policy_evaluate/5ops_x4inst` case) moves with machine speed, so
+//! the ratio cancels hardware while a *size-dependent* regression — extra
+//! per-operator work or allocation in the hot loop, which hits the 100-op
+//! case far harder than the 5-op case — still trips the gate.
+//!
+//! The JSON is the fixed format the vendored criterion shim and
+//! `scenario_matrix --bench-json` emit: an array of flat objects with
+//! string `name` and numeric fields. A benchmark missing from either file
+//! is an error — a renamed bench must update the baseline in the same PR.
+
+use std::process::ExitCode;
+
+fn field_f64(entry: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = entry.find(&pat)? + pat.len();
+    let rest = entry[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `median_ns` for the entry named `bench` from the shim's JSON.
+fn median_of(json: &str, bench: &str) -> Option<f64> {
+    for entry in json.split('{').skip(1) {
+        let entry = entry.split('}').next()?;
+        let name_pat = "\"name\":";
+        let Some(pos) = entry.find(name_pat) else {
+            continue;
+        };
+        let rest = entry[pos + name_pat.len()..].trim_start();
+        let name = rest.strip_prefix('"').and_then(|r| r.split('"').next());
+        if name == Some(bench) {
+            return field_f64(entry, "median_ns");
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    let mut bench = String::from("ds2_policy_evaluate/100ops_x16inst");
+    let mut tolerance_pct = 25.0f64;
+    let mut calibrate: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" => bench = args.next().expect("--bench needs a value"),
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a number")
+            }
+            "--calibrate" => calibrate = Some(args.next().expect("--calibrate needs a value")),
+            _ => positional.push(a),
+        }
+    }
+    let [baseline_path, fresh_path] = &positional[..] else {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <fresh.json> \
+             [--bench NAME] [--tolerance PCT] [--calibrate NAME]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline_json = read(baseline_path);
+    let fresh_json = read(fresh_path);
+
+    let Some(mut baseline) = median_of(&baseline_json, &bench) else {
+        eprintln!("bench_guard: '{bench}' not found in baseline {baseline_path}");
+        return ExitCode::from(2);
+    };
+    let Some(fresh) = median_of(&fresh_json, &bench) else {
+        eprintln!("bench_guard: '{bench}' not found in fresh run {fresh_path}");
+        return ExitCode::from(2);
+    };
+
+    // Cancel machine-speed differences: scale the baseline by how much the
+    // reference benchmark moved between the baseline machine and this one.
+    if let Some(reference) = &calibrate {
+        let (Some(ref_base), Some(ref_fresh)) = (
+            median_of(&baseline_json, reference),
+            median_of(&fresh_json, reference),
+        ) else {
+            eprintln!("bench_guard: calibration bench '{reference}' missing from a file");
+            return ExitCode::from(2);
+        };
+        if ref_base <= 0.0 {
+            eprintln!("bench_guard: calibration baseline median is zero");
+            return ExitCode::from(2);
+        }
+        let speed = ref_fresh / ref_base;
+        baseline *= speed;
+        println!(
+            "bench_guard: calibrated by {reference}: machine factor {speed:.3} \
+             ({ref_base:.1} -> {ref_fresh:.1} ns)"
+        );
+    }
+
+    let limit = baseline * (1.0 + tolerance_pct / 100.0);
+    println!(
+        "bench_guard: {bench}: baseline median {baseline:.1} ns, fresh {fresh:.1} ns \
+         (limit {limit:.1} ns at +{tolerance_pct}%)"
+    );
+    if fresh > limit {
+        eprintln!(
+            "bench_guard: REGRESSION: median {fresh:.1} ns exceeds {limit:.1} ns \
+             ({:+.1}% vs baseline)",
+            (fresh / baseline - 1.0) * 100.0
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "bench_guard: OK ({:+.1}% vs baseline)",
+        (fresh / baseline - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"name": "ds2_policy_evaluate/5ops_x4inst", "iterations": 10, "mean_ns": 1.0, "median_ns": 2.5, "p95_ns": 3.0},
+  {"name": "ds2_policy_evaluate/100ops_x16inst", "iterations": 10, "mean_ns": 5.0, "median_ns": 4200.5, "p95_ns": 9.0}
+]"#;
+
+    #[test]
+    fn extracts_named_median() {
+        assert_eq!(
+            median_of(SAMPLE, "ds2_policy_evaluate/100ops_x16inst"),
+            Some(4200.5)
+        );
+        assert_eq!(
+            median_of(SAMPLE, "ds2_policy_evaluate/5ops_x4inst"),
+            Some(2.5)
+        );
+        assert_eq!(median_of(SAMPLE, "nope"), None);
+    }
+}

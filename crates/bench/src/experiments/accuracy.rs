@@ -65,9 +65,8 @@ pub fn figure8_query(query: QueryId, duration_ns: u64) -> (Vec<Fig8Point>, usize
         engine.run_for(duration_ns * 2 / 3);
         let snap = engine.collect_snapshot();
         let observed: f64 = snap
-            .source_rates
-            .keys()
-            .filter_map(|&src| snap.observed_source_rate(src))
+            .source_rates()
+            .filter_map(|(src, _)| snap.observed_source_rate(src))
             .sum();
         let lat = engine.latency();
         points.push(Fig8Point {

@@ -198,10 +198,10 @@ mod tests {
         let (mut engine, ops) = flink_dynamic_benchmark((10, 5), 5_000_000_000);
         engine.run_for(1_000_000_000);
         let snap = engine.collect_snapshot();
-        assert_eq!(snap.source_rates[&ops.source], 2_000_000.0);
+        assert_eq!(snap.source_rate(ops.source), Some(2_000_000.0));
         engine.run_for(5_000_000_000);
         let snap = engine.collect_snapshot();
-        assert_eq!(snap.source_rates[&ops.source], 1_000_000.0);
+        assert_eq!(snap.source_rate(ops.source), Some(1_000_000.0));
     }
 
     #[test]

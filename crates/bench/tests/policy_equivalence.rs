@@ -1,0 +1,71 @@
+//! Refactor-equivalence guard for the dense data plane: on metrics windows
+//! produced by real simulated runs of generated scenarios, the workspace
+//! path (`evaluate_into`) must produce **bit-identical** plans and
+//! estimates to the allocating `evaluate` path — same floats, same
+//! ceilings, same errors — with ONE workspace recycled across all of them.
+
+use ds2_core::deployment::Deployment;
+use ds2_core::policy::{Ds2Policy, PolicyConfig, PolicyWorkspace};
+use ds2_simulator::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
+use ds2_simulator::scenarios::{GeneratorConfig, ScenarioSpec};
+
+#[test]
+fn evaluate_into_matches_evaluate_on_generated_scenarios() {
+    let generator = GeneratorConfig::default();
+    let policy = Ds2Policy::with_config(PolicyConfig {
+        max_parallelism: Some(64),
+        ..Default::default()
+    });
+    // One workspace across every scenario: cross-scenario reuse must not
+    // leak state between windows of *different* graphs either.
+    let mut ws = PolicyWorkspace::new();
+
+    let mut evaluated = 0usize;
+    for seed in 0..80u64 {
+        let spec = ScenarioSpec::generate(seed, &generator);
+        let graph = spec.topology.graph.clone();
+        let mut engine = FluidEngine::new(
+            graph.clone(),
+            spec.profiles.clone(),
+            spec.sources.clone(),
+            spec.initial.clone(),
+            EngineConfig {
+                instrumentation: InstrumentationConfig::disabled(),
+                seed,
+                tick_ns: 25_000_000,
+                ..Default::default()
+            },
+        );
+        // Two windows: the first warms rates up, the second is evaluated.
+        engine.run_for(10_000_000_000);
+        let _ = engine.collect_snapshot();
+        engine.run_for(10_000_000_000);
+        let snap = engine.collect_snapshot();
+        let current: Deployment = engine.current_deployment();
+
+        let old_path = policy.evaluate(&graph, &snap, &current);
+        let dense_path = policy.evaluate_into(&graph, &snap, &current, &mut ws);
+
+        match (old_path, dense_path) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.plan, b.plan, "seed {seed}: plans diverged");
+                for op in graph.operators() {
+                    // OperatorEstimate compares f64 fields exactly: this is
+                    // the bit-identity claim, not an approximate one.
+                    assert_eq!(
+                        a.estimates.get(op),
+                        b.estimates.get(op),
+                        "seed {seed}: estimates diverged at {op}"
+                    );
+                }
+                evaluated += 1;
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed}: errors diverged"),
+            (a, b) => panic!("seed {seed}: one path failed: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(
+        evaluated >= 50,
+        "only {evaluated} scenarios produced evaluable windows (need >= 50)"
+    );
+}

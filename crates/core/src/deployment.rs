@@ -10,91 +10,131 @@ use crate::graph::{LogicalGraph, OperatorId};
 ///
 /// This is the quantity DS2 controls. A deployment is valid for a graph when
 /// it assigns at least one instance to every operator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Storage is a dense `Vec<usize>` indexed by [`OperatorId::index`] — a
+/// parallelism of `0` means "unassigned" (operators never legally run zero
+/// instances), so lookups on the policy/simulator hot paths are plain index
+/// arithmetic instead of `BTreeMap` pointer chasing.
+#[derive(Debug, Clone, Default)]
 pub struct Deployment {
-    parallelism: BTreeMap<OperatorId, usize>,
+    parallelism: Vec<usize>,
 }
 
 impl Deployment {
     /// Creates a deployment assigning `p` instances to every operator.
     pub fn uniform(graph: &LogicalGraph, p: usize) -> Self {
         Self {
-            parallelism: graph.operators().map(|op| (op, p.max(1))).collect(),
+            parallelism: vec![p.max(1); graph.len()],
+        }
+    }
+
+    /// Creates an empty deployment with `n` zeroed (unassigned) slots.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            parallelism: vec![0; n],
         }
     }
 
     /// Creates a deployment from explicit per-operator parallelism.
     pub fn from_map(parallelism: BTreeMap<OperatorId, usize>) -> Self {
-        Self { parallelism }
+        let n = parallelism.keys().last().map_or(0, |op| op.index() + 1);
+        let mut d = Self::with_len(n);
+        for (op, p) in parallelism {
+            d.set(op, p);
+        }
+        d
     }
 
     /// Validates that every operator of `graph` has at least one instance.
     pub fn validate(&self, graph: &LogicalGraph) -> Result<(), Ds2Error> {
         for op in graph.operators() {
-            match self.parallelism.get(&op) {
-                None => {
-                    return Err(Ds2Error::InvalidDeployment(format!(
-                        "no parallelism assigned to {op} ({})",
-                        graph.name(op)
-                    )))
-                }
-                Some(0) => {
-                    return Err(Ds2Error::InvalidDeployment(format!(
-                        "{op} ({}) assigned zero instances",
-                        graph.name(op)
-                    )))
-                }
-                Some(_) => {}
+            if self.parallelism(op) == 0 {
+                return Err(Ds2Error::InvalidDeployment(format!(
+                    "{op} ({}) has no instances assigned",
+                    graph.name(op)
+                )));
             }
         }
         Ok(())
     }
 
     /// Parallelism of one operator (0 if the operator is unknown).
+    #[inline]
     pub fn parallelism(&self, op: OperatorId) -> usize {
-        self.parallelism.get(&op).copied().unwrap_or(0)
+        self.parallelism.get(op.index()).copied().unwrap_or(0)
     }
 
     /// Sets the parallelism of one operator.
     pub fn set(&mut self, op: OperatorId, p: usize) {
-        self.parallelism.insert(op, p);
+        let i = op.index();
+        if i >= self.parallelism.len() {
+            self.parallelism.resize(i + 1, 0);
+        }
+        self.parallelism[i] = p;
     }
 
-    /// Iterates over `(operator, parallelism)` pairs in id order.
+    /// Resets every assignment to "unassigned" and pins the slot count to
+    /// `n`, reusing the existing allocation — the [`PolicyWorkspace`]
+    /// clearing path.
+    ///
+    /// [`PolicyWorkspace`]: crate::policy::PolicyWorkspace
+    pub fn reset(&mut self, n: usize) {
+        self.parallelism.clear();
+        self.parallelism.resize(n, 0);
+    }
+
+    /// Iterates over assigned `(operator, parallelism)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (OperatorId, usize)> + '_ {
-        self.parallelism.iter().map(|(&op, &p)| (op, p))
+        self.parallelism
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0)
+            .map(|(i, &p)| (OperatorId(i), p))
     }
 
     /// Total number of instances across all operators.
     pub fn total_instances(&self) -> usize {
-        self.parallelism.values().sum()
+        self.parallelism.iter().sum()
     }
 
-    /// The underlying map.
-    pub fn as_map(&self) -> &BTreeMap<OperatorId, usize> {
-        &self.parallelism
+    /// The per-operator parallelism as an ordered map (assigned operators
+    /// only). Allocates; intended for reporting, not hot paths.
+    pub fn to_map(&self) -> BTreeMap<OperatorId, usize> {
+        self.iter().collect()
     }
 
     /// Largest absolute per-operator parallelism change between two plans.
     pub fn max_delta(&self, other: &Deployment) -> usize {
+        let n = self.parallelism.len().max(other.parallelism.len());
         let mut delta = 0usize;
-        for (&op, &p) in &self.parallelism {
-            let q = other.parallelism(op);
+        for i in 0..n {
+            let p = self.parallelism.get(i).copied().unwrap_or(0);
+            let q = other.parallelism.get(i).copied().unwrap_or(0);
             delta = delta.max(p.abs_diff(q));
-        }
-        for (&op, &q) in &other.parallelism {
-            if !self.parallelism.contains_key(&op) {
-                delta = delta.max(q);
-            }
         }
         delta
     }
 }
 
+/// Two deployments are equal when they assign the same parallelism to the
+/// same operators — trailing unassigned slots are ignored, so plans built
+/// for the same graph through different code paths compare equal.
+impl PartialEq for Deployment {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.parallelism.len().max(other.parallelism.len());
+        (0..n).all(|i| {
+            self.parallelism.get(i).copied().unwrap_or(0)
+                == other.parallelism.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for Deployment {}
+
 impl fmt::Display for Deployment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (op, p)) in self.parallelism.iter().enumerate() {
+        for (i, (op, p)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -149,6 +189,35 @@ mod tests {
         let b = Deployment::from_map([(OperatorId(0), 5), (OperatorId(1), 7)].into());
         assert_eq!(a.max_delta(&b), 3);
         assert_eq!(b.max_delta(&a), 3);
+    }
+
+    #[test]
+    fn max_delta_counts_unassigned_as_zero() {
+        let a = Deployment::from_map([(OperatorId(0), 2)].into());
+        let b = Deployment::from_map([(OperatorId(0), 2), (OperatorId(2), 6)].into());
+        assert_eq!(a.max_delta(&b), 6);
+        assert_eq!(b.max_delta(&a), 6);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_unassigned_slots() {
+        let mut a = Deployment::with_len(8);
+        a.set(OperatorId(0), 2);
+        let b = Deployment::from_map([(OperatorId(0), 2)].into());
+        assert_eq!(a, b);
+        a.set(OperatorId(5), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_clears_and_pins_len() {
+        let mut d = Deployment::from_map([(OperatorId(0), 2), (OperatorId(3), 4)].into());
+        d.reset(2);
+        assert_eq!(d.parallelism(OperatorId(0)), 0);
+        assert_eq!(d.parallelism(OperatorId(3)), 0);
+        assert_eq!(d.total_instances(), 0);
+        d.set(OperatorId(1), 3);
+        assert_eq!(d.to_map(), [(OperatorId(1), 3)].into());
     }
 
     #[test]

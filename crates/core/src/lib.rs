@@ -66,6 +66,7 @@ pub mod deployment;
 pub mod error;
 pub mod graph;
 pub mod manager;
+pub mod opmap;
 pub mod policy;
 pub mod rates;
 pub mod snapshot;
@@ -77,7 +78,10 @@ pub mod prelude {
     pub use crate::error::Ds2Error;
     pub use crate::graph::{Edge, GraphBuilder, LogicalGraph, OperatorId};
     pub use crate::manager::{ActivationCombine, ManagerConfig, ScalingManager};
-    pub use crate::policy::{Ds2Policy, OperatorEstimate, PolicyConfig, PolicyOutput};
+    pub use crate::opmap::{OpMap, OpSet};
+    pub use crate::policy::{
+        Ds2Policy, OperatorEstimate, PolicyConfig, PolicyOutput, PolicyWorkspace,
+    };
     pub use crate::rates::{InstanceMetrics, OperatorMetrics};
     pub use crate::snapshot::MetricsSnapshot;
 }

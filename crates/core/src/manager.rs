@@ -6,13 +6,19 @@
 //! practicalities: suppression of minor changes, rollback on post-deploy
 //! degradation, and a decision limit that guarantees convergence under data
 //! skew (§4.2.3).
-
-use std::collections::BTreeMap;
+//!
+//! The per-window path is allocation-conscious: the manager owns one
+//! [`Ds2Policy`] and one [`PolicyWorkspace`] for its whole lifetime, passes
+//! the learned requirement boost as an *argument* to
+//! [`Ds2Policy::evaluate_boosted_into`] (no per-decision config cloning),
+//! and keeps its offered-rate and activation-combining scratch in dense
+//! reusable buffers.
 
 use crate::controller::{ControllerVerdict, ScalingController};
 use crate::deployment::Deployment;
-use crate::graph::{LogicalGraph, OperatorId};
-use crate::policy::{Ds2Policy, PolicyConfig};
+use crate::graph::LogicalGraph;
+use crate::opmap::OpMap;
+use crate::policy::{Ds2Policy, PolicyConfig, PolicyWorkspace};
 use crate::snapshot::MetricsSnapshot;
 
 /// How several consecutive policy decisions are combined before acting
@@ -123,6 +129,12 @@ pub struct DecisionRecord {
 pub struct ScalingManager {
     graph: LogicalGraph,
     config: ManagerConfig,
+    /// The policy, built once from `config.policy`; the learned boost is
+    /// passed per evaluation instead of cloning a tweaked config.
+    policy: Ds2Policy,
+    /// Dense evaluation scratch, reused every window (and reusable across
+    /// manager instances via [`ScalingManager::with_workspace`]).
+    workspace: PolicyWorkspace,
     warmup_remaining: u32,
     pending: Vec<Deployment>,
     decisions_made: u32,
@@ -134,7 +146,11 @@ pub struct ScalingManager {
     /// Per-source offered rates observed before the most recent rescale;
     /// rollback only makes sense while the load is still comparable
     /// (compared per source — opposite shifts must not cancel).
-    pre_deploy_offered: Option<BTreeMap<OperatorId, f64>>,
+    pre_deploy_offered: Option<OpMap<f64>>,
+    /// This window's per-source offered rates (dense scratch).
+    offered_scratch: OpMap<f64>,
+    /// Per-operator sorting scratch for activation combining.
+    combine_values: Vec<usize>,
     /// Set after a rollback so the manager does not immediately re-propose
     /// the configuration it just rolled back from.
     rolled_back_from: Option<Deployment>,
@@ -155,10 +171,24 @@ pub struct ScalingManager {
 impl ScalingManager {
     /// Creates a manager for `graph` with the given configuration.
     pub fn new(graph: LogicalGraph, config: ManagerConfig) -> Self {
+        Self::with_workspace(graph, config, PolicyWorkspace::new())
+    }
+
+    /// Creates a manager that evaluates into a caller-provided (typically
+    /// recycled) [`PolicyWorkspace`]; recover it with
+    /// [`ScalingManager::take_workspace`] when the manager retires.
+    pub fn with_workspace(
+        graph: LogicalGraph,
+        config: ManagerConfig,
+        workspace: PolicyWorkspace,
+    ) -> Self {
         let warmup = config.warmup_intervals;
+        let policy = Ds2Policy::with_config(config.policy);
         Self {
             graph,
             config,
+            policy,
+            workspace,
             warmup_remaining: warmup,
             pending: Vec::new(),
             decisions_made: 0,
@@ -166,6 +196,8 @@ impl ScalingManager {
             previous_deployment: None,
             pre_deploy_ratio: None,
             pre_deploy_offered: None,
+            offered_scratch: OpMap::new(),
+            combine_values: Vec::new(),
             rolled_back_from: None,
             rollback_ban_remaining: 0,
             consecutive_rollbacks: 0,
@@ -178,6 +210,12 @@ impl ScalingManager {
     /// Creates a manager with default configuration.
     pub fn with_defaults(graph: LogicalGraph) -> Self {
         Self::new(graph, ManagerConfig::default())
+    }
+
+    /// Extracts the evaluation workspace (leaving a fresh one behind), so a
+    /// pooled workspace can outlive this manager.
+    pub fn take_workspace(&mut self) -> PolicyWorkspace {
+        std::mem::take(&mut self.workspace)
     }
 
     /// The manager's configuration.
@@ -210,7 +248,7 @@ impl ScalingManager {
     fn achieved_ratio(&self, snapshot: &MetricsSnapshot) -> Option<f64> {
         let mut min_ratio: Option<f64> = None;
         for &src in self.graph.sources() {
-            let offered = *snapshot.source_rates.get(&src)?;
+            let offered = snapshot.source_rate(src)?;
             if offered <= 0.0 {
                 continue;
             }
@@ -221,23 +259,28 @@ impl ScalingManager {
         min_ratio
     }
 
-    /// Per-source offered rates, from instrumentation.
-    fn offered_rates(&self, snapshot: &MetricsSnapshot) -> Option<BTreeMap<OperatorId, f64>> {
-        let mut rates = BTreeMap::new();
+    /// Fills the dense offered-rate scratch from instrumentation; returns
+    /// `false` when no source reported.
+    fn fill_offered_scratch(&mut self, snapshot: &MetricsSnapshot) -> bool {
+        self.offered_scratch.clear();
+        let mut any = false;
         for &src in self.graph.sources() {
-            if let Some(&offered) = snapshot.source_rates.get(&src) {
-                rates.insert(src, offered);
+            if let Some(offered) = snapshot.source_rate(src) {
+                self.offered_scratch.insert(src, offered);
+                any = true;
             }
         }
-        (!rates.is_empty()).then_some(rates)
+        any
     }
 
     /// Combines pending decisions per `activation_combine`.
-    fn combine_pending(&self) -> Deployment {
+    fn combine_pending(&mut self) -> Deployment {
         debug_assert!(!self.pending.is_empty());
-        let mut combined: BTreeMap<OperatorId, usize> = BTreeMap::new();
+        let mut combined = Deployment::with_len(self.graph.len());
+        let mut values = std::mem::take(&mut self.combine_values);
         for op in self.graph.operators() {
-            let mut values: Vec<usize> = self.pending.iter().map(|d| d.parallelism(op)).collect();
+            values.clear();
+            values.extend(self.pending.iter().map(|d| d.parallelism(op)));
             values.sort_unstable();
             let v = match self.config.activation_combine {
                 ActivationCombine::Max => *values.last().expect("non-empty"),
@@ -245,9 +288,10 @@ impl ScalingManager {
                 // erring towards keeping up rather than under-provisioning.
                 ActivationCombine::Median => values[values.len() / 2],
             };
-            combined.insert(op, v);
+            combined.set(op, v);
         }
-        Deployment::from_map(combined)
+        self.combine_values = values;
+        combined
     }
 }
 
@@ -271,7 +315,7 @@ impl ScalingController for ScalingManager {
         }
 
         let achieved_ratio = self.achieved_ratio(snapshot);
-        let offered_now = self.offered_rates(snapshot);
+        let have_offered = self.fill_offered_scratch(snapshot);
 
         // Expire the post-rollback suppression: the banned plan may be
         // exactly what a changed workload needs (see
@@ -291,9 +335,9 @@ impl ScalingController for ScalingManager {
         // degradation exogenously, and rolling back would punish a correct
         // plan.
         if self.config.rollback_on_degradation {
-            let load_shifted = match (&self.pre_deploy_offered, &offered_now) {
-                (Some(before), Some(now)) => self.graph.sources().iter().any(|src| {
-                    match (before.get(src), now.get(src)) {
+            let load_shifted = match &self.pre_deploy_offered {
+                Some(before) if have_offered => self.graph.sources().iter().any(|&src| {
+                    match (before.get(src), self.offered_scratch.get(src)) {
                         (Some(&b), Some(&n)) => {
                             (n - b).abs() > self.config.rollback_load_shift_tolerance * b.max(1e-9)
                         }
@@ -346,26 +390,30 @@ impl ScalingController for ScalingManager {
         }
 
         // Evaluate the policy with the boost learned so far (1.0 until a
-        // correction fires).
-        let base_policy = Ds2Policy::with_config(PolicyConfig {
-            requirement_boost: self.sticky_boost,
-            ..self.config.policy.clone()
-        });
-        let mut output = match base_policy.evaluate(&self.graph, snapshot, current) {
-            Ok(out) => out,
-            Err(_) => {
-                // Rates undefined this interval (e.g. an operator saw no
-                // input yet): defer, as warm-up would.
-                self.history.push(DecisionRecord {
-                    at_ns: now_ns,
-                    plan: None,
-                    achieved_ratio,
-                    boost: 1.0,
-                    acted: false,
-                });
-                return ControllerVerdict::NoAction;
-            }
-        };
+        // correction fires), passed as an argument — the config is never
+        // cloned on this path.
+        if self
+            .policy
+            .evaluate_boosted_into(
+                &self.graph,
+                snapshot,
+                current,
+                self.sticky_boost,
+                &mut self.workspace,
+            )
+            .is_err()
+        {
+            // Rates undefined this interval (e.g. an operator saw no
+            // input yet): defer, as warm-up would.
+            self.history.push(DecisionRecord {
+                at_ns: now_ns,
+                plan: None,
+                achieved_ratio,
+                boost: 1.0,
+                acted: false,
+            });
+            return ControllerVerdict::NoAction;
+        }
         let mut boost = self.sticky_boost;
 
         // Target-rate-ratio correction (§4.2.1): the policy sees no need to
@@ -375,23 +423,40 @@ impl ScalingController for ScalingManager {
         // ratio, on top of what previous corrections already learned.
         if let Some(ratio) = achieved_ratio {
             let threshold = self.config.target_rate_ratio - self.config.ratio_tolerance;
-            let no_increase = self
-                .graph
-                .operators()
-                .all(|op| output.plan.parallelism(op) <= current.parallelism(op));
+            let no_increase = {
+                let plan = &self.workspace.output().plan;
+                self.graph
+                    .operators()
+                    .all(|op| plan.parallelism(op) <= current.parallelism(op))
+            };
             if no_increase && ratio < threshold && ratio > 0.0 {
                 boost = (self.sticky_boost * self.config.target_rate_ratio / ratio).min(4.0);
-                let boosted = Ds2Policy::with_config(PolicyConfig {
-                    requirement_boost: boost,
-                    ..self.config.policy.clone()
-                });
-                if let Ok(out) = boosted.evaluate(&self.graph, snapshot, current) {
-                    output = out;
+                // Cannot fail: the same inputs evaluated cleanly above and
+                // the boost is finite and positive by construction. Restore
+                // the unboosted output defensively if it ever does.
+                if self
+                    .policy
+                    .evaluate_boosted_into(
+                        &self.graph,
+                        snapshot,
+                        current,
+                        boost,
+                        &mut self.workspace,
+                    )
+                    .is_err()
+                {
+                    let _ = self.policy.evaluate_boosted_into(
+                        &self.graph,
+                        snapshot,
+                        current,
+                        self.sticky_boost,
+                        &mut self.workspace,
+                    );
                 }
             }
         }
 
-        let plan = output.plan;
+        let plan = self.workspace.output().plan.clone();
         self.pending.push(plan.clone());
         if self.pending.len() > self.config.activation_intervals.max(1) as usize {
             self.pending.remove(0);
@@ -424,7 +489,7 @@ impl ScalingController for ScalingManager {
             if significant && budget_ok && not_rolled_back {
                 self.previous_deployment = Some(current.clone());
                 self.pre_deploy_ratio = achieved_ratio;
-                self.pre_deploy_offered = offered_now;
+                self.pre_deploy_offered = have_offered.then(|| self.offered_scratch.clone());
                 self.awaiting_deploy = true;
                 self.pending.clear();
                 self.consecutive_stable = 0;
@@ -467,7 +532,7 @@ impl ScalingController for ScalingManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::GraphBuilder;
+    use crate::graph::{GraphBuilder, OperatorId};
     use crate::rates::InstanceMetrics;
 
     fn inst(capacity: f64, selectivity: f64, util: f64) -> InstanceMetrics {
@@ -635,6 +700,35 @@ mod tests {
         assert_eq!(plan.parallelism(c), 10);
         let last = mgr.history().last().unwrap();
         assert!(last.boost > 1.2 && last.boost < 1.3);
+    }
+
+    /// The boost-as-argument path must behave exactly like the historical
+    /// clone-the-config-and-tweak-`requirement_boost` path.
+    #[test]
+    fn boost_path_matches_cloned_config_evaluation() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(g.clone(), ManagerConfig::default());
+        let mut current = Deployment::uniform(&g, 1);
+        current.set(f, 4);
+        current.set(c, 8);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, 400.0);
+        snap.insert_instances(s, vec![inst(640.0, 1.0, 0.5)]);
+        snap.insert_instances(f, vec![inst(100.0, 2.0, 0.8); 4]);
+        snap.insert_instances(c, vec![inst(100.0, 1.0, 0.8); 8]);
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("boost must trigger a rescale").clone();
+
+        // Reference: the old behaviour, a full config clone with the boost
+        // folded into `requirement_boost`.
+        let boost = mgr.history().last().unwrap().boost;
+        let reference = Ds2Policy::with_config(PolicyConfig {
+            requirement_boost: boost,
+            ..ManagerConfig::default().policy
+        })
+        .evaluate(&g, &snap, &current)
+        .unwrap();
+        assert_eq!(plan, reference.plan, "decision output changed");
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Dense, allocation-free per-operator storage.
+//!
+//! [`OperatorId`]s are dense indices assigned by the graph builder, so a
+//! per-operator map is most naturally a `Vec` indexed by
+//! [`OperatorId::index`]. [`OpMap`] and [`OpSet`] exploit that: lookups are
+//! one bounds check and one pointer offset instead of a `BTreeMap`'s
+//! `O(log n)` pointer chase, and — crucially for the hot data plane —
+//! clearing is **epoch-stamped**: [`OpMap::clear`] bumps a generation
+//! counter in `O(1)` without dropping or reallocating the slots, so a map
+//! that is filled and cleared once per metrics window or simulation tick
+//! settles into a steady state with zero heap traffic.
+//!
+//! Values written in an earlier epoch stay allocated in their slot and are
+//! recycled by [`OpMap::slot_or_default`], which lets values with heap
+//! capacity of their own (e.g. a `Vec` of instance metrics) keep that
+//! capacity across windows.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::graph::OperatorId;
+
+/// A dense map from [`OperatorId`] to `T`, backed by a `Vec` indexed by
+/// [`OperatorId::index`].
+///
+/// Semantically a drop-in replacement for `BTreeMap<OperatorId, T>` over
+/// dense operator ids: `insert`/`get`/`remove`/`iter` (id order) behave
+/// identically. `clear` is `O(1)` (an epoch bump) and `insert` only
+/// allocates when an id beyond the current capacity appears, so a map pinned
+/// to a graph's operator count via [`OpMap::with_len`] is allocation-free in
+/// steady state.
+#[derive(Clone)]
+pub struct OpMap<T> {
+    /// Slot storage; `Some` once a value was ever written to the slot.
+    values: Vec<Option<T>>,
+    /// Epoch in which each slot was last written; a slot is *present* iff
+    /// its stamp equals the map's current epoch.
+    stamps: Vec<u64>,
+    /// Current generation; bumped by [`OpMap::clear`]. Starts at 1 so fresh
+    /// (zeroed) stamps read as absent.
+    epoch: u64,
+}
+
+impl<T> Default for OpMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OpMap<T> {
+    /// Creates an empty map with no slots.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// Creates an empty map with `n` slots, pinned to a graph's operator
+    /// count so inserts never reallocate.
+    pub fn with_len(n: usize) -> Self {
+        let mut m = Self::new();
+        m.grow(n);
+        m
+    }
+
+    /// Ensures at least `n` slots exist (never shrinks).
+    pub fn grow(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize_with(n, || None);
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Number of slots (the operator-count bound, not the entry count).
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.stamps.iter().filter(|&&s| s == self.epoch).count()
+    }
+
+    /// `true` when no entry is present.
+    pub fn is_empty(&self) -> bool {
+        !self.stamps.contains(&self.epoch)
+    }
+
+    /// Removes every entry in `O(1)` by bumping the epoch. Slot values stay
+    /// allocated and are recycled by later inserts.
+    pub fn clear(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Inserts `value` for `op`, returning the previous value if one was
+    /// present *this epoch* (mirroring `BTreeMap::insert`).
+    pub fn insert(&mut self, op: OperatorId, value: T) -> Option<T> {
+        let i = op.index();
+        self.grow(i + 1);
+        let was_present = self.stamps[i] == self.epoch;
+        self.stamps[i] = self.epoch;
+        let old = self.values[i].replace(value);
+        if was_present {
+            old
+        } else {
+            None
+        }
+    }
+
+    /// The value for `op`, if present.
+    pub fn get(&self, op: OperatorId) -> Option<&T> {
+        let i = op.index();
+        if i < self.values.len() && self.stamps[i] == self.epoch {
+            self.values[i].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the value for `op`, if present.
+    pub fn get_mut(&mut self, op: OperatorId) -> Option<&mut T> {
+        let i = op.index();
+        if i < self.values.len() && self.stamps[i] == self.epoch {
+            self.values[i].as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the value for `op`, if present.
+    pub fn remove(&mut self, op: OperatorId) -> Option<T> {
+        let i = op.index();
+        if i < self.values.len() && self.stamps[i] == self.epoch {
+            self.stamps[i] = self.epoch - 1;
+            self.values[i].take()
+        } else {
+            None
+        }
+    }
+
+    /// `true` when `op` has a value.
+    pub fn contains_key(&self, op: OperatorId) -> bool {
+        self.get(op).is_some()
+    }
+
+    /// Present entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (OperatorId, &T)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.stamps[i] == self.epoch)
+            .map(|(i, v)| (OperatorId(i), v.as_ref().expect("stamped")))
+    }
+
+    /// Present entries in id order, values mutable.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (OperatorId, &mut T)> + '_ {
+        let epoch = self.epoch;
+        self.values
+            .iter_mut()
+            .zip(self.stamps.iter())
+            .enumerate()
+            .filter_map(move |(i, (v, &s))| {
+                (s == epoch).then(|| (OperatorId(i), v.as_mut().expect("stamped")))
+            })
+    }
+
+    /// Present values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Present keys in id order.
+    pub fn keys(&self) -> impl Iterator<Item = OperatorId> + '_ {
+        self.iter().map(|(op, _)| op)
+    }
+}
+
+impl<T: Default> OpMap<T> {
+    /// Marks `op` present and returns a mutable reference to its slot,
+    /// recycling whatever value occupied the slot in an *earlier* epoch
+    /// (its heap capacity included). The caller is responsible for
+    /// resetting the recycled value's contents.
+    pub fn slot_or_default(&mut self, op: OperatorId) -> &mut T {
+        let i = op.index();
+        self.grow(i + 1);
+        self.stamps[i] = self.epoch;
+        self.values[i].get_or_insert_with(T::default)
+    }
+}
+
+impl<T> Index<OperatorId> for OpMap<T> {
+    type Output = T;
+    fn index(&self, op: OperatorId) -> &T {
+        self.get(op).expect("no entry for operator")
+    }
+}
+
+impl<T> Index<&OperatorId> for OpMap<T> {
+    type Output = T;
+    fn index(&self, op: &OperatorId) -> &T {
+        self.get(*op).expect("no entry for operator")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OpMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for OpMap<T> {
+    fn eq(&self, other: &Self) -> bool {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => continue,
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl<T: PartialEq> Eq for OpMap<T> where T: Eq {}
+
+impl<T> FromIterator<(OperatorId, T)> for OpMap<T> {
+    fn from_iter<I: IntoIterator<Item = (OperatorId, T)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (op, v) in iter {
+            m.insert(op, v);
+        }
+        m
+    }
+}
+
+/// A dense set of [`OperatorId`]s with `O(1)` epoch-stamped clearing.
+#[derive(Clone, Default)]
+pub struct OpSet {
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl OpSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            stamps: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// Creates an empty set with `n` slots.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            stamps: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Inserts `op`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, op: OperatorId) -> bool {
+        let i = op.index();
+        if i >= self.stamps.len() {
+            self.stamps.resize(i + 1, 0);
+        }
+        let fresh = self.stamps[i] != self.epoch;
+        self.stamps[i] = self.epoch;
+        fresh
+    }
+
+    /// `true` when `op` is in the set.
+    pub fn contains(&self, op: OperatorId) -> bool {
+        op.index() < self.stamps.len() && self.stamps[op.index()] == self.epoch
+    }
+
+    /// Removes `op`; returns `true` if it was present.
+    pub fn remove(&mut self, op: OperatorId) -> bool {
+        let present = self.contains(op);
+        if present {
+            self.stamps[op.index()] = self.epoch - 1;
+        }
+        present
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.stamps.iter().filter(|&&s| s == self.epoch).count()
+    }
+
+    /// `true` when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        !self.stamps.contains(&self.epoch)
+    }
+
+    /// Removes every member in `O(1)`.
+    pub fn clear(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = OperatorId> + '_ {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &s)| (s == self.epoch).then_some(OperatorId(i)))
+    }
+}
+
+impl fmt::Debug for OpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = OpMap::new();
+        assert_eq!(m.insert(OperatorId(3), "a"), None);
+        assert_eq!(m.insert(OperatorId(3), "b"), Some("a"));
+        assert_eq!(m.get(OperatorId(3)), Some(&"b"));
+        assert_eq!(m.get(OperatorId(0)), None);
+        assert_eq!(m.remove(OperatorId(3)), Some("b"));
+        assert_eq!(m.remove(OperatorId(3)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clear_is_epoch_bump_and_slots_recycle() {
+        let mut m: OpMap<Vec<u32>> = OpMap::with_len(4);
+        m.insert(OperatorId(1), vec![1, 2, 3]);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(OperatorId(1)), None);
+        // The old Vec (and its capacity) is recycled, contents intact —
+        // callers reset it.
+        let slot = m.slot_or_default(OperatorId(1));
+        assert_eq!(slot, &vec![1, 2, 3]);
+        slot.clear();
+        slot.push(9);
+        assert_eq!(m.get(OperatorId(1)), Some(&vec![9]));
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut m = OpMap::new();
+        m.insert(OperatorId(5), 50);
+        m.insert(OperatorId(1), 10);
+        m.insert(OperatorId(3), 30);
+        let pairs: Vec<(OperatorId, i32)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (OperatorId(1), 10),
+                (OperatorId(3), 30),
+                (OperatorId(5), 50)
+            ]
+        );
+        assert_eq!(m.values().sum::<i32>(), 90);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn insert_after_remove_does_not_resurrect() {
+        let mut m = OpMap::new();
+        m.insert(OperatorId(2), 1);
+        m.remove(OperatorId(2));
+        assert_eq!(m.insert(OperatorId(2), 2), None);
+        assert_eq!(m.get(OperatorId(2)), Some(&2));
+    }
+
+    #[test]
+    fn equality_ignores_capacity_and_epoch_history() {
+        let mut a = OpMap::with_len(16);
+        a.insert(OperatorId(0), 1);
+        a.insert(OperatorId(9), 2);
+        a.clear();
+        a.insert(OperatorId(0), 1);
+        let mut b = OpMap::new();
+        b.insert(OperatorId(0), 1);
+        assert_eq!(a, b);
+        b.insert(OperatorId(1), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_ops() {
+        let mut m = OpMap::new();
+        m.insert(OperatorId(1), 7);
+        assert_eq!(m[OperatorId(1)], 7);
+        assert_eq!(m[&OperatorId(1)], 7);
+    }
+
+    #[test]
+    fn opset_basics() {
+        let mut s = OpSet::with_len(4);
+        assert!(s.insert(OperatorId(2)));
+        assert!(!s.insert(OperatorId(2)));
+        assert!(s.contains(OperatorId(2)));
+        assert!(!s.contains(OperatorId(0)));
+        assert_eq!(s.len(), 1);
+        assert!(s.insert(OperatorId(7)));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![OperatorId(2), OperatorId(7)]
+        );
+        assert!(s.remove(OperatorId(2)));
+        assert!(!s.remove(OperatorId(2)));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(OperatorId(7)));
+    }
+}

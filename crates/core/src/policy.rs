@@ -8,12 +8,22 @@
 //! single pass over the operators in topological order: each operator's
 //! optimal output rate `o[λo]*` (Eq. 8) feeds the target rate of its
 //! downstream operators (Eq. 7).
-
-use std::collections::BTreeMap;
+//!
+//! # Hot-path API
+//!
+//! The paper positions the policy as cheap enough to run on *every* metrics
+//! window. [`Ds2Policy::evaluate_into`] makes that true of this
+//! implementation: it writes into a caller-owned [`PolicyWorkspace`] whose
+//! dense per-operator buffers (indexed by [`OperatorId::index`]) are cleared
+//! by epoch-stamping and reused across windows, so an evaluation performs
+//! **zero heap allocations** once the workspace has warmed up on a graph.
+//! [`Ds2Policy::evaluate`] remains as a convenience wrapper that allocates a
+//! fresh workspace per call.
 
 use crate::deployment::Deployment;
 use crate::error::Ds2Error;
 use crate::graph::{LogicalGraph, OperatorId};
+use crate::opmap::OpMap;
 use crate::snapshot::MetricsSnapshot;
 
 /// Tolerance used when taking ceilings of rate ratios, so that a target that
@@ -22,7 +32,7 @@ use crate::snapshot::MetricsSnapshot;
 const CEIL_EPSILON: f64 = 1e-9;
 
 /// Configuration of the DS2 policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct PolicyConfig {
     /// Lower bound on prescribed parallelism (default 1).
     pub min_parallelism: usize,
@@ -78,12 +88,12 @@ pub struct OperatorEstimate {
 }
 
 /// The outcome of one policy evaluation: a full provisioning plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PolicyOutput {
     /// Prescribed parallelism for every operator.
     pub plan: Deployment,
-    /// Per-operator estimates in graph id order.
-    pub estimates: BTreeMap<OperatorId, OperatorEstimate>,
+    /// Per-operator estimates, densely indexed by operator id.
+    pub estimates: OpMap<OperatorEstimate>,
 }
 
 impl PolicyOutput {
@@ -98,6 +108,56 @@ impl PolicyOutput {
             .filter(|op| !graph.is_source(*op))
             .map(|op| self.plan.parallelism(op))
             .sum()
+    }
+}
+
+/// Caller-owned scratch space for [`Ds2Policy::evaluate_into`].
+///
+/// Holds the dense per-operator buffers one evaluation needs — the Eq. 8
+/// `o[λo]*` propagation vector plus the [`PolicyOutput`] (plan and
+/// estimates) itself. Buffers are sized to the graph's operator count on
+/// first use and cleared by epoch-stamping afterwards, so repeated
+/// evaluations on graphs of the same (or smaller) size never touch the
+/// allocator. One workspace can be reused across *different* graphs; it
+/// simply grows to the largest operator count it has seen.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyWorkspace {
+    /// `o_j[λo]*` per operator, filled in topological order (Eq. 8).
+    optimal_output: Vec<f64>,
+    /// The evaluation result, rebuilt in place.
+    out: PolicyOutput,
+}
+
+impl PolicyWorkspace {
+    /// Creates an empty workspace (buffers grow on first evaluation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs of `n` operators.
+    pub fn with_len(n: usize) -> Self {
+        let mut ws = Self::default();
+        ws.reset(n);
+        ws
+    }
+
+    /// Clears the buffers and pins them to `n` operators.
+    fn reset(&mut self, n: usize) {
+        self.optimal_output.clear();
+        self.optimal_output.resize(n, 0.0);
+        self.out.plan.reset(n);
+        self.out.estimates.clear();
+        self.out.estimates.grow(n);
+    }
+
+    /// The result of the most recent evaluation.
+    pub fn output(&self) -> &PolicyOutput {
+        &self.out
+    }
+
+    /// Consumes the workspace, yielding the most recent evaluation result.
+    pub fn into_output(self) -> PolicyOutput {
+        self.out
     }
 }
 
@@ -125,6 +185,10 @@ impl Ds2Policy {
     /// order, which is the property that lets DS2 configure *all* operators
     /// in the same scaling decision (§3.2).
     ///
+    /// Convenience wrapper over [`Ds2Policy::evaluate_into`] that allocates
+    /// a fresh [`PolicyWorkspace`] per call; callers evaluating every
+    /// metrics window should hold a workspace and use `evaluate_into`.
+    ///
     /// # Errors
     ///
     /// Returns [`Ds2Error::MissingMetrics`] when an operator with a non-zero
@@ -137,23 +201,56 @@ impl Ds2Policy {
         snapshot: &MetricsSnapshot,
         current: &Deployment,
     ) -> Result<PolicyOutput, Ds2Error> {
-        let boost = self.config.requirement_boost;
+        let mut ws = PolicyWorkspace::new();
+        self.evaluate_into(graph, snapshot, current, &mut ws)?;
+        Ok(ws.into_output())
+    }
+
+    /// Like [`Ds2Policy::evaluate`], but writes the result into a
+    /// caller-owned [`PolicyWorkspace`] and returns a reference to it.
+    ///
+    /// After the workspace has warmed up on a graph (one evaluation), this
+    /// performs no heap allocation: the dense per-operator buffers are
+    /// cleared by epoch-stamping and overwritten in place, which is what
+    /// keeps the decision latency negligible relative to the metrics window
+    /// on large dataflows.
+    pub fn evaluate_into<'ws>(
+        &self,
+        graph: &LogicalGraph,
+        snapshot: &MetricsSnapshot,
+        current: &Deployment,
+        ws: &'ws mut PolicyWorkspace,
+    ) -> Result<&'ws PolicyOutput, Ds2Error> {
+        self.evaluate_boosted_into(graph, snapshot, current, self.config.requirement_boost, ws)
+    }
+
+    /// [`Ds2Policy::evaluate_into`] with the requirement boost supplied as a
+    /// parameter, overriding `config.requirement_boost`.
+    ///
+    /// This is the Scaling Manager's target-rate-ratio correction path
+    /// (§4.2.1): the manager re-runs the policy with a boost learned from
+    /// the achieved/target ratio without rebuilding (or cloning) the policy
+    /// configuration per decision.
+    pub fn evaluate_boosted_into<'ws>(
+        &self,
+        graph: &LogicalGraph,
+        snapshot: &MetricsSnapshot,
+        current: &Deployment,
+        boost: f64,
+        ws: &'ws mut PolicyWorkspace,
+    ) -> Result<&'ws PolicyOutput, Ds2Error> {
         if !(boost.is_finite() && boost > 0.0) {
             return Err(Ds2Error::InvalidMetrics(format!(
                 "requirement boost {boost} must be finite and positive"
             )));
         }
 
-        // o_j[λo]* per operator, filled in topological order (Eq. 8).
-        let mut optimal_output: BTreeMap<OperatorId, f64> = BTreeMap::new();
-        let mut estimates: BTreeMap<OperatorId, OperatorEstimate> = BTreeMap::new();
-        let mut plan: BTreeMap<OperatorId, usize> = BTreeMap::new();
+        ws.reset(graph.len());
 
         for op in graph.topological_order() {
             if graph.is_source(op) {
-                let rate = *snapshot
-                    .source_rates
-                    .get(&op)
+                let rate = snapshot
+                    .source_rate(op)
                     .ok_or(Ds2Error::MissingMetrics(op))?;
                 if !rate.is_finite() || rate < 0.0 {
                     return Err(Ds2Error::InvalidMetrics(format!(
@@ -162,10 +259,10 @@ impl Ds2Policy {
                 }
                 // Base case of Eq. 8: a source's optimal output rate is the
                 // externally offered rate λsrc.
-                optimal_output.insert(op, rate);
+                ws.optimal_output[op.index()] = rate;
                 let (parallelism, capacity, raw) =
-                    self.source_parallelism(op, rate, snapshot, current)?;
-                estimates.insert(
+                    self.source_parallelism(op, rate, boost, snapshot, current)?;
+                ws.out.estimates.insert(
                     op,
                     OperatorEstimate {
                         target_rate: rate,
@@ -176,7 +273,7 @@ impl Ds2Policy {
                         parallelism,
                     },
                 );
-                plan.insert(op, parallelism);
+                ws.out.plan.set(op, parallelism);
                 continue;
             }
 
@@ -184,19 +281,16 @@ impl Ds2Policy {
             // generalised with edge weights; the paper's model is w = 1).
             let mut target_rate = 0.0;
             for edge in graph.upstream_edges(op) {
-                let upstream_star = optimal_output
-                    .get(&edge.from)
-                    .copied()
-                    .expect("topological order guarantees upstream visited first");
-                target_rate += edge.weight * upstream_star;
+                // Topological order guarantees the upstream slot was written.
+                target_rate += edge.weight * ws.optimal_output[edge.from.index()];
             }
 
             if target_rate <= 0.0 {
                 // No load will ever reach this operator under the optimal
                 // plan; the minimum deployment suffices and it emits nothing.
                 let parallelism = self.clamp(self.config.min_parallelism as f64);
-                optimal_output.insert(op, 0.0);
-                estimates.insert(
+                ws.optimal_output[op.index()] = 0.0;
+                ws.out.estimates.insert(
                     op,
                     OperatorEstimate {
                         target_rate: 0.0,
@@ -207,7 +301,7 @@ impl Ds2Policy {
                         parallelism,
                     },
                 );
-                plan.insert(op, parallelism);
+                ws.out.plan.set(op, parallelism);
                 continue;
             }
 
@@ -222,11 +316,8 @@ impl Ds2Policy {
                     "{op} has zero current parallelism"
                 )));
             }
-            let agg_lp = metrics
-                .aggregate_true_processing_rate()
-                .ok_or(Ds2Error::UndefinedRates(op))?;
-            let agg_lo = metrics
-                .aggregate_true_output_rate()
+            let (agg_lp, agg_lo) = metrics
+                .aggregate_true_rates()
                 .ok_or(Ds2Error::UndefinedRates(op))?;
             if agg_lp <= 0.0 {
                 return Err(Ds2Error::UndefinedRates(op));
@@ -240,10 +331,16 @@ impl Ds2Policy {
             // Eq. 7: π = ceil( rt / (o[λp]/p) ), with the manager's boost
             // folded into the requirement before the ceiling. The boost is
             // targeted at operators exhibiting uninstrumented overheads
-            // when a threshold is set.
-            let op_boost = match self.config.boost_unaccounted_threshold {
-                Some(t) if metrics.mean_unaccounted_fraction() < t => 1.0,
-                _ => boost,
+            // when a threshold is set. With no boost in effect the gate's
+            // outcome is 1.0 either way, so the unaccounted-fraction pass
+            // over the instances is skipped entirely.
+            let op_boost = if boost == 1.0 {
+                1.0
+            } else {
+                match self.config.boost_unaccounted_threshold {
+                    Some(t) if metrics.mean_unaccounted_fraction() < t => 1.0,
+                    _ => boost,
+                }
             };
             let capacity_per_instance = agg_lp / p as f64;
             let raw_requirement = op_boost * target_rate / capacity_per_instance;
@@ -254,8 +351,8 @@ impl Ds2Policy {
             let selectivity = agg_lo / agg_lp;
             let optimal_output_rate = selectivity * target_rate;
 
-            optimal_output.insert(op, optimal_output_rate);
-            estimates.insert(
+            ws.optimal_output[op.index()] = optimal_output_rate;
+            ws.out.estimates.insert(
                 op,
                 OperatorEstimate {
                     target_rate,
@@ -266,13 +363,10 @@ impl Ds2Policy {
                     parallelism,
                 },
             );
-            plan.insert(op, parallelism);
+            ws.out.plan.set(op, parallelism);
         }
 
-        Ok(PolicyOutput {
-            plan: Deployment::from_map(plan),
-            estimates,
-        })
+        Ok(&ws.out)
     }
 
     /// Parallelism for a source: either kept as-is (paper behaviour) or
@@ -281,6 +375,7 @@ impl Ds2Policy {
         &self,
         op: OperatorId,
         offered: f64,
+        boost: f64,
         snapshot: &MetricsSnapshot,
         current: &Deployment,
     ) -> Result<(usize, f64, f64), Ds2Error> {
@@ -297,7 +392,7 @@ impl Ds2Policy {
             return Err(Ds2Error::UndefinedRates(op));
         }
         let capacity = agg_lo / p as f64;
-        let raw = self.config.requirement_boost * offered / capacity;
+        let raw = boost * offered / capacity;
         Ok((self.clamp(raw), capacity, raw))
     }
 
@@ -620,6 +715,84 @@ mod tests {
             .unwrap();
         // 4.0 raw requirement boosted to 5.0.
         assert_eq!(out.plan.parallelism(op), 5);
+    }
+
+    #[test]
+    fn boost_parameter_equals_boosted_config() {
+        // The manager's no-clone path: `evaluate_boosted_into(…, b, …)` on a
+        // boost-1.0 config must produce exactly what a config carrying
+        // `requirement_boost = b` produces.
+        let mut b = GraphBuilder::new();
+        let src = b.operator("src");
+        let op = b.operator("op");
+        let op2 = b.operator("op2");
+        b.connect(src, op);
+        b.connect(op, op2);
+        let g = b.build().unwrap();
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(src, 1000.0);
+        snap.insert_instances(src, vec![inst(1000.0, 1.0, 0.5)]);
+        snap.insert_instances(op, vec![inst(250.0, 1.5, 0.8)]);
+        snap.insert_instances(op2, vec![inst(400.0, 1.0, 0.9)]);
+        let current = Deployment::uniform(&g, 1);
+
+        for boost in [1.0, 1.25, 2.0, 3.7] {
+            let via_config = Ds2Policy::with_config(PolicyConfig {
+                requirement_boost: boost,
+                scale_sources: true,
+                ..Default::default()
+            })
+            .evaluate(&g, &snap, &current)
+            .unwrap();
+            let base = Ds2Policy::with_config(PolicyConfig {
+                scale_sources: true,
+                ..Default::default()
+            });
+            let mut ws = PolicyWorkspace::new();
+            let via_param = base
+                .evaluate_boosted_into(&g, &snap, &current, boost, &mut ws)
+                .unwrap();
+            assert_eq!(via_config.plan, via_param.plan, "boost {boost}");
+            for o in g.operators() {
+                assert_eq!(
+                    via_config.estimates[&o], via_param.estimates[&o],
+                    "boost {boost}: {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_evaluation() {
+        // Same workspace driven across two different graphs and repeated
+        // windows: every call must match a fresh `evaluate`.
+        let mut ws = PolicyWorkspace::new();
+        let policy = Ds2Policy::new();
+        for n in [5usize, 3, 8] {
+            let mut b = GraphBuilder::new();
+            let mut prev = b.operator("src");
+            let mut ids = vec![prev];
+            for i in 1..n {
+                let op = b.operator(format!("op{i}"));
+                b.connect(prev, op);
+                prev = op;
+                ids.push(op);
+            }
+            let g = b.build().unwrap();
+            let mut snap = MetricsSnapshot::new();
+            snap.set_source_rate(ids[0], 1000.0);
+            snap.insert_instances(ids[0], vec![inst(1000.0, 1.0, 0.5)]);
+            for &op in &ids[1..] {
+                snap.insert_instances(op, vec![inst(300.0, 1.0, 0.9)]);
+            }
+            let current = Deployment::uniform(&g, 2);
+            let fresh = policy.evaluate(&g, &snap, &current).unwrap();
+            let reused = policy.evaluate_into(&g, &snap, &current, &mut ws).unwrap();
+            assert_eq!(fresh.plan, reused.plan);
+            for op in g.operators() {
+                assert_eq!(fresh.estimates[&op], reused.estimates[&op]);
+            }
+        }
     }
 
     #[test]

@@ -171,6 +171,27 @@ impl OperatorMetrics {
         aggregate(self.instances.iter().map(|i| i.true_output_rate()))
     }
 
+    /// Both aggregate true rates — `(o[λp], o[λo])` of Eq. 5–6 — in one
+    /// pass over the instances. The policy reads them together every
+    /// window; fusing the passes halves the per-operator instance traffic
+    /// while performing bit-identical arithmetic (same per-instance
+    /// formula, same summation order) to the individual aggregates.
+    pub fn aggregate_true_rates(&self) -> Option<(f64, f64)> {
+        let mut lp = 0.0;
+        let mut lo = 0.0;
+        let mut any = false;
+        for inst in &self.instances {
+            if inst.useful_ns == 0 {
+                continue;
+            }
+            let useful = inst.useful_ns as f64;
+            lp += inst.records_in as f64 * NS_PER_SEC / useful;
+            lo += inst.records_out as f64 * NS_PER_SEC / useful;
+            any = true;
+        }
+        any.then_some((lp, lo))
+    }
+
     /// Aggregated observed processing rate `Σ λ̂p^k`.
     pub fn aggregate_observed_processing_rate(&self) -> Option<f64> {
         aggregate(self.instances.iter().map(|i| i.observed_processing_rate()))

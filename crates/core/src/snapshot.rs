@@ -1,31 +1,51 @@
 //! Metrics snapshots: the policy's view of one observation window.
 
-use std::collections::BTreeMap;
-
 use crate::deployment::Deployment;
 use crate::error::Ds2Error;
 use crate::graph::{LogicalGraph, OperatorId};
+use crate::opmap::OpMap;
 use crate::rates::{InstanceMetrics, OperatorMetrics};
 
 /// Everything DS2 needs to evaluate one scaling decision (§3.2):
 /// per-instance true-rate counters for every operator, plus the externally
 /// monitored output rate of each source.
+///
+/// Both maps are dense [`OpMap`] arenas indexed by [`OperatorId::index`], so
+/// the policy's per-window lookups are index arithmetic, and a snapshot
+/// buffer reused across windows ([`MetricsSnapshot::clear`] +
+/// [`MetricsSnapshot::operator_slot`]) recycles its per-operator instance
+/// vectors instead of reallocating them.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Per-operator instrumentation for the window.
-    pub operators: BTreeMap<OperatorId, OperatorMetrics>,
+    operators: OpMap<OperatorMetrics>,
     /// Offered output rate of each source in records/second (`λsrc`).
     ///
     /// The paper monitors these outside the reference system: they are the
     /// rates the application data sources *produce*, not the (possibly
     /// backpressure-throttled) rates the dataflow achieves.
-    pub source_rates: BTreeMap<OperatorId, f64>,
+    source_rates: OpMap<f64>,
 }
 
 impl MetricsSnapshot {
     /// Creates an empty snapshot.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty snapshot with capacity for `n` operators.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            operators: OpMap::with_len(n),
+            source_rates: OpMap::with_len(n),
+        }
+    }
+
+    /// Removes all operator metrics and source rates in `O(1)`, keeping the
+    /// slot allocations (and the instance vectors inside them) for reuse.
+    pub fn clear(&mut self) {
+        self.operators.clear();
+        self.source_rates.clear();
     }
 
     /// Inserts metrics for one operator.
@@ -38,22 +58,58 @@ impl MetricsSnapshot {
         self.operators.insert(op, OperatorMetrics::new(instances));
     }
 
+    /// Marks `op` reported and returns its (recycled) metrics slot with the
+    /// instance vector cleared — the allocation-free filling path used by
+    /// snapshot collectors that reuse one snapshot across windows.
+    pub fn operator_slot(&mut self, op: OperatorId) -> &mut OperatorMetrics {
+        let slot = self.operators.slot_or_default(op);
+        slot.instances.clear();
+        slot
+    }
+
+    /// Removes one operator's metrics (testing / partial-window handling).
+    pub fn remove_operator(&mut self, op: OperatorId) -> Option<OperatorMetrics> {
+        self.operators.remove(op)
+    }
+
     /// Records the offered rate of a source in records/second.
     pub fn set_source_rate(&mut self, op: OperatorId, rate: f64) {
         self.source_rates.insert(op, rate);
     }
 
+    /// Removes all recorded source rates.
+    pub fn clear_source_rates(&mut self) {
+        self.source_rates.clear();
+    }
+
     /// Metrics for one operator, if reported.
+    #[inline]
     pub fn operator(&self, op: OperatorId) -> Option<&OperatorMetrics> {
-        self.operators.get(&op)
+        self.operators.get(op)
+    }
+
+    /// All reported operators in id order.
+    pub fn operators(&self) -> impl Iterator<Item = (OperatorId, &OperatorMetrics)> + '_ {
+        self.operators.iter()
+    }
+
+    /// The offered rate of a source, if recorded.
+    #[inline]
+    pub fn source_rate(&self, op: OperatorId) -> Option<f64> {
+        self.source_rates.get(op).copied()
+    }
+
+    /// All recorded `(source, offered rate)` pairs in id order.
+    pub fn source_rates(&self) -> impl Iterator<Item = (OperatorId, f64)> + '_ {
+        self.source_rates.iter().map(|(op, &r)| (op, r))
     }
 
     /// The observed (achieved) aggregate output rate of a source, from its
     /// instrumentation counters. Under backpressure this is lower than the
-    /// offered rate in [`MetricsSnapshot::source_rates`].
+    /// offered rate recorded by [`MetricsSnapshot::set_source_rate`].
     pub fn observed_source_rate(&self, op: OperatorId) -> Option<f64> {
         self.operators
-            .get(&op)
+            .get(op)
             .and_then(|m| m.aggregate_observed_output_rate())
     }
 
@@ -63,10 +119,7 @@ impl MetricsSnapshot {
     /// `Wu <= W` model invariant.
     pub fn validate(&self, graph: &LogicalGraph, deployment: &Deployment) -> Result<(), Ds2Error> {
         for op in graph.operators() {
-            let metrics = self
-                .operators
-                .get(&op)
-                .ok_or(Ds2Error::MissingMetrics(op))?;
+            let metrics = self.operators.get(op).ok_or(Ds2Error::MissingMetrics(op))?;
             let p = deployment.parallelism(op);
             if metrics.parallelism() != p {
                 return Err(Ds2Error::InvalidMetrics(format!(
@@ -82,7 +135,7 @@ impl MetricsSnapshot {
         for &src in graph.sources() {
             let rate = self
                 .source_rates
-                .get(&src)
+                .get(src)
                 .ok_or(Ds2Error::MissingMetrics(src))?;
             if !rate.is_finite() || *rate < 0.0 {
                 return Err(Ds2Error::InvalidMetrics(format!(
@@ -132,7 +185,7 @@ mod tests {
     #[test]
     fn missing_operator_fails() {
         let (g, d, mut snap) = setup();
-        snap.operators.remove(&OperatorId(1));
+        snap.remove_operator(OperatorId(1));
         assert!(matches!(
             snap.validate(&g, &d),
             Err(Ds2Error::MissingMetrics(OperatorId(1)))
@@ -149,7 +202,7 @@ mod tests {
     #[test]
     fn missing_source_rate_fails() {
         let (g, d, mut snap) = setup();
-        snap.source_rates.clear();
+        snap.clear_source_rates();
         assert!(snap.validate(&g, &d).is_err());
     }
 
@@ -167,5 +220,21 @@ mod tests {
         let (_, _, snap) = setup();
         assert_eq!(snap.observed_source_rate(OperatorId(0)), Some(100.0));
         assert_eq!(snap.observed_source_rate(OperatorId(9)), None);
+    }
+
+    #[test]
+    fn cleared_snapshot_recycles_instance_vectors() {
+        let (g, d, mut snap) = setup();
+        snap.clear();
+        assert!(snap.operator(OperatorId(0)).is_none());
+        assert_eq!(snap.source_rate(OperatorId(0)), None);
+        // Refill through the slot path: contents identical to a fresh fill.
+        let slot = snap.operator_slot(OperatorId(0));
+        slot.instances.push(inst(0, 100, 100, 1000));
+        let slot = snap.operator_slot(OperatorId(1));
+        slot.instances.push(inst(100, 100, 100, 1000));
+        snap.set_source_rate(OperatorId(0), 100.0);
+        assert!(snap.validate(&g, &d).is_ok());
+        assert_eq!(snap.observed_source_rate(OperatorId(0)), Some(100.0));
     }
 }

@@ -1,0 +1,102 @@
+//! Model test: [`OpMap`] must behave exactly like `BTreeMap<OperatorId, T>`
+//! under arbitrary interleavings of insert / remove / clear — including the
+//! epoch-stamped `clear`, whose recycled slots must never resurrect stale
+//! values.
+
+use std::collections::BTreeMap;
+
+use ds2_core::graph::OperatorId;
+use ds2_core::opmap::{OpMap, OpSet};
+use proptest::prelude::*;
+
+/// One scripted operation against both the map under test and the model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(usize, u64),
+    Remove(usize),
+    Clear,
+    SlotOrDefault(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, 0usize..24, 0u64..1000).prop_map(|(kind, idx, val)| match kind {
+        0 => Op::Insert(idx, val),
+        1 => Op::Remove(idx),
+        2 => Op::Clear,
+        _ => Op::SlotOrDefault(idx, val),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every observable behaviour of `OpMap` — insert's returned previous
+    /// value, remove's returned value, presence, iteration order, length —
+    /// matches the `BTreeMap` model across arbitrary operation sequences.
+    #[test]
+    fn opmap_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut dense: OpMap<u64> = OpMap::new();
+        let mut model: BTreeMap<OperatorId, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(i, v) => {
+                    let id = OperatorId(i);
+                    prop_assert_eq!(dense.insert(id, v), model.insert(id, v), "insert {}", i);
+                }
+                Op::Remove(i) => {
+                    let id = OperatorId(i);
+                    prop_assert_eq!(dense.remove(id), model.remove(&id), "remove {}", i);
+                }
+                Op::Clear => {
+                    dense.clear();
+                    model.clear();
+                }
+                Op::SlotOrDefault(i, v) => {
+                    let id = OperatorId(i);
+                    // The recycling entry point: stale contents may linger in
+                    // the slot, so the caller resets them — after which both
+                    // maps must agree that the entry is present with `v`.
+                    let slot = dense.slot_or_default(id);
+                    *slot = v;
+                    model.insert(id, v);
+                }
+            }
+            // Presence and value agree on every id after each step.
+            for i in 0..24 {
+                let id = OperatorId(i);
+                prop_assert_eq!(dense.get(id), model.get(&id), "get {} after {:?}", i, op);
+                prop_assert_eq!(dense.contains_key(id), model.contains_key(&id));
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+            // Iteration yields identical ordered pairs.
+            let a: Vec<(OperatorId, u64)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+            let b: Vec<(OperatorId, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `OpSet` matches a `BTreeSet` model the same way.
+    #[test]
+    fn opset_matches_btreeset_model(ops in proptest::collection::vec((0u8..3, 0usize..24), 0..120)) {
+        let mut dense = OpSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (kind, i) in ops {
+            let id = OperatorId(i);
+            match kind {
+                0 => { prop_assert_eq!(dense.insert(id), model.insert(id)); }
+                1 => { prop_assert_eq!(dense.remove(id), model.remove(&id)); }
+                _ => { dense.clear(); model.clear(); }
+            }
+            for j in 0..24 {
+                let id = OperatorId(j);
+                prop_assert_eq!(dense.contains(id), model.contains(&id));
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            let a: Vec<OperatorId> = dense.iter().collect();
+            let b: Vec<OperatorId> = model.iter().copied().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -195,7 +195,7 @@ mod tests {
         let mut mgr = MetricsManager::new();
         mgr.set_source_rate(OperatorId(0), 1234.5);
         let snap = mgr.collect_snapshot();
-        assert_eq!(snap.source_rates[&OperatorId(0)], 1234.5);
+        assert_eq!(snap.source_rate(OperatorId(0)), Some(1234.5));
     }
 
     #[test]

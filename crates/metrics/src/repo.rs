@@ -91,7 +91,7 @@ impl MetricsRepository {
         // `window[0]` is the newest.
         let newest = &window[0].snapshot;
         let mut merged = MetricsSnapshot::new();
-        for (&op, newest_metrics) in &newest.operators {
+        for (op, newest_metrics) in newest.operators() {
             let p = newest_metrics.parallelism();
             let mut acc = newest_metrics.clone();
             for entry in window.iter().skip(1) {
@@ -108,7 +108,7 @@ impl MetricsRepository {
             }
             merged.insert_operator(op, acc);
         }
-        for (&op, &rate) in &newest.source_rates {
+        for (op, rate) in newest.source_rates() {
             merged.set_source_rate(op, rate);
         }
         Some(merged)
@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(om.instances[0].records_in, 50); // 20 + 30
         assert_eq!(om.instances[0].window_ns, 2000);
         // Newest source rate wins.
-        assert_eq!(merged.source_rates[&OperatorId(0)], 30.0);
+        assert_eq!(merged.source_rate(OperatorId(0)), Some(30.0));
     }
 
     #[test]

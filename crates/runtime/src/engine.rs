@@ -475,9 +475,9 @@ mod tests {
         assert_eq!(snap.operator(s).unwrap().parallelism(), 1);
         assert_eq!(snap.operator(m).unwrap().parallelism(), 3);
         assert_eq!(snap.operator(c).unwrap().parallelism(), 1);
-        assert_eq!(snap.source_rates[&s], 5_000.0);
+        assert_eq!(snap.source_rate(s), Some(5_000.0));
         // Wu <= W for every instance.
-        for om in snap.operators.values() {
+        for (_, om) in snap.operators() {
             for i in &om.instances {
                 assert!(i.validate().is_ok());
             }

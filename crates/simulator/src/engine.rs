@@ -24,11 +24,16 @@
 //! record latency and epoch-completion tracking. Per-instance §4.1 counters
 //! (records in/out, useful time, waits) are maintained in virtual time and
 //! exported as [`MetricsSnapshot`]s.
+//!
+//! All per-operator runtime structures are dense arenas indexed by
+//! [`OperatorId::index`](ds2_core::graph::OperatorId::index); see
+//! [`FluidEngine`] for the allocation discipline of the tick path.
 
 use std::collections::BTreeMap;
 
 use ds2_core::deployment::Deployment;
 use ds2_core::graph::{LogicalGraph, OperatorId};
+use ds2_core::opmap::OpMap;
 use ds2_core::rates::InstanceMetrics;
 use ds2_core::snapshot::MetricsSnapshot;
 use rand::rngs::SmallRng;
@@ -185,16 +190,40 @@ impl OpState {
 }
 
 /// Statistics of the most recent tick, for timelines.
+///
+/// The per-source maps are dense [`OpMap`] arenas the engine recycles
+/// across ticks (epoch-stamped clear), so reading them per tick is
+/// allocation-free; use [`TickStats::total_offered`] /
+/// [`TickStats::total_emitted`] for the common aggregate.
 #[derive(Debug, Clone, Default)]
 pub struct TickStats {
     /// Records each source offered this tick.
-    pub offered: BTreeMap<OperatorId, f64>,
+    pub offered: OpMap<f64>,
     /// Records each source actually emitted this tick.
-    pub emitted: BTreeMap<OperatorId, f64>,
+    pub emitted: OpMap<f64>,
     /// Whether the Heron backpressure signal was active.
     pub backpressure: bool,
     /// Whether the engine was halted for redeployment.
     pub halted: bool,
+}
+
+impl TickStats {
+    /// Total records offered by all sources this tick.
+    pub fn total_offered(&self) -> f64 {
+        self.offered.values().sum()
+    }
+
+    /// Total records emitted by all sources this tick.
+    pub fn total_emitted(&self) -> f64 {
+        self.emitted.values().sum()
+    }
+
+    fn clear(&mut self) {
+        self.offered.clear();
+        self.emitted.clear();
+        self.backpressure = false;
+        self.halted = false;
+    }
 }
 
 /// Events produced by a tick.
@@ -205,17 +234,27 @@ pub struct TickEvents {
 }
 
 /// The fluid queueing engine.
+///
+/// All per-operator runtime structures are dense arenas indexed by
+/// [`OperatorId::index`] — operator state, source backlog, cached downstream
+/// edges, per-record cost cache and the per-tick scratch buffers — so the
+/// tick loop is pure index arithmetic over contiguous memory and performs no
+/// heap allocation in steady state.
 #[derive(Debug)]
 pub struct FluidEngine {
     graph: LogicalGraph,
-    profiles: ProfileMap,
-    sources: BTreeMap<OperatorId, SourceSpec>,
+    /// Operator cost profiles, dense by operator id (sources have none).
+    profiles: OpMap<OperatorProfile>,
+    /// Source specifications, dense by operator id.
+    sources: OpMap<SourceSpec>,
     cfg: EngineConfig,
     deployment: Deployment,
     timely_workers: usize,
-    states: BTreeMap<OperatorId, OpState>,
-    /// Durable backlog per source (records offered but not yet emitted).
-    backlog: BTreeMap<OperatorId, f64>,
+    /// Per-operator runtime state, indexed by operator id.
+    states: Vec<OpState>,
+    /// Durable backlog per operator id (records offered but not yet
+    /// emitted; non-zero only for sources).
+    backlog: Vec<f64>,
     now_ns: u64,
     snapshot_start_ns: u64,
     rng: SmallRng,
@@ -226,14 +265,30 @@ pub struct FluidEngine {
     last_tick: TickStats,
     /// Reverse topological order (sinks first), cached.
     reverse_topo: Vec<OperatorId>,
-    /// Downstream `(to, weight)` edges per operator, cached at construction
-    /// (the graph never changes; collecting these per tick dominated the
-    /// allocator profile of large matrix runs).
-    down_edges: BTreeMap<OperatorId, Vec<(OperatorId, f64)>>,
+    /// Non-source operators in topological order (Timely water-filling).
+    non_source_topo: Vec<OperatorId>,
+    /// Downstream `(to, weight)` edges per operator id, cached at
+    /// construction (the graph never changes; collecting these per tick
+    /// dominated the allocator profile of large matrix runs).
+    down_edges: Vec<Vec<(OperatorId, f64)>>,
     /// Per-operator `(instrumented, real)` cost per record at the current
-    /// deployment, in ns. Rebuilt on every redeployment — the scaling-curve
-    /// multipliers involve `exp()` and only change when parallelism does.
-    cost_cache: BTreeMap<OperatorId, (f64, f64)>,
+    /// deployment, in ns, indexed by operator id (`(0, 0)` for sources).
+    /// Rebuilt on every redeployment — the scaling-curve multipliers
+    /// involve `exp()` and only change when parallelism does.
+    cost_cache: Vec<(f64, f64)>,
+    /// Output mode per operator id (`None` for sources), cached so the tick
+    /// path never chases the profile map.
+    output_modes: Vec<Option<OutputMode>>,
+    /// Window firing period per operator id, cached from the profiles.
+    window_periods: Vec<Option<u64>>,
+    /// Per-partition drain scratch (operator_process).
+    takes_scratch: Vec<f64>,
+    /// Drained-span scratch shared by the drain paths.
+    span_scratch: Vec<Span>,
+    /// Timely water-filling scratch: eligible records per operator id.
+    eligible_scratch: Vec<f64>,
+    /// Timely water-filling scratch: per-operator noise factors.
+    noise_scratch: Vec<f64>,
 }
 
 impl FluidEngine {
@@ -260,21 +315,35 @@ impl FluidEngine {
                 assert!(profiles.contains_key(&op), "missing profile for {op}");
             }
         }
+        let m = graph.len();
         let reverse_topo: Vec<OperatorId> = {
             let mut t: Vec<OperatorId> = graph.topological_order().collect();
             t.reverse();
             t
         };
-        let down_edges: BTreeMap<OperatorId, Vec<(OperatorId, f64)>> = graph
+        let non_source_topo: Vec<OperatorId> = graph
+            .topological_order()
+            .filter(|&op| !graph.is_source(op))
+            .collect();
+        let down_edges: Vec<Vec<(OperatorId, f64)>> = graph
             .operators()
             .map(|op| {
-                (
-                    op,
-                    graph
-                        .downstream_edges(op)
-                        .map(|e| (e.to, e.weight))
-                        .collect(),
-                )
+                graph
+                    .downstream_edges(op)
+                    .map(|e| (e.to, e.weight))
+                    .collect()
+            })
+            .collect();
+        let profiles: OpMap<OperatorProfile> = profiles.into_iter().collect();
+        let sources: OpMap<SourceSpec> = sources.into_iter().collect();
+        let output_modes: Vec<Option<OutputMode>> = (0..m)
+            .map(|i| profiles.get(OperatorId(i)).map(|p| p.output))
+            .collect();
+        let window_periods: Vec<Option<u64>> = output_modes
+            .iter()
+            .map(|mode| match mode {
+                Some(OutputMode::Windowed { period_ns, .. }) => Some(*period_ns),
+                _ => None,
             })
             .collect();
         let timely_workers = cfg.timely_workers.max(1);
@@ -287,8 +356,8 @@ impl FluidEngine {
             cfg,
             deployment,
             timely_workers,
-            states: BTreeMap::new(),
-            backlog: BTreeMap::new(),
+            states: Vec::new(),
+            backlog: vec![0.0; m],
             now_ns: 0,
             snapshot_start_ns: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -298,8 +367,15 @@ impl FluidEngine {
             epochs: EpochTracker::new(epoch_ns),
             last_tick: TickStats::default(),
             reverse_topo,
+            non_source_topo,
             down_edges,
-            cost_cache: BTreeMap::new(),
+            cost_cache: vec![(0.0, 0.0); m],
+            output_modes,
+            window_periods,
+            takes_scratch: Vec::new(),
+            span_scratch: Vec::new(),
+            eligible_scratch: vec![0.0; m],
+            noise_scratch: vec![0.0; m],
         };
         engine.init_states();
         engine.rebuild_cost_cache();
@@ -309,25 +385,25 @@ impl FluidEngine {
     /// Recomputes the per-record cost of every non-source operator at the
     /// current parallelism (instrumented and real, ns per record).
     fn rebuild_cost_cache(&mut self) {
-        self.cost_cache = self
-            .graph
-            .operators()
-            .filter(|&op| !self.graph.is_source(op))
-            .map(|op| {
-                let p = match self.cfg.mode {
-                    EngineMode::Timely => self.timely_workers,
-                    _ => self.deployment.parallelism(op).max(1),
-                };
-                let profile = &self.profiles[&op];
+        for op in self.graph.operators() {
+            let i = op.index();
+            if self.graph.is_source(op) {
+                self.cost_cache[i] = (0.0, 0.0);
+                continue;
+            }
+            let p = match self.cfg.mode {
+                EngineMode::Timely => self.timely_workers,
+                _ => self.deployment.parallelism(op).max(1),
+            };
+            let (instr, real) = {
+                let profile = &self.profiles[op];
                 (
-                    op,
-                    (
-                        self.effective_instr_cost(profile, p),
-                        self.effective_real_cost(profile, p),
-                    ),
+                    self.effective_instr_cost(profile, p),
+                    self.effective_real_cost(profile, p),
                 )
-            })
-            .collect();
+            };
+            self.cost_cache[i] = (instr, real);
+        }
     }
 
     /// Number of metric-reporting instances of an operator.
@@ -357,7 +433,7 @@ impl FluidEngine {
     fn partition_shares(&self, op: OperatorId) -> Vec<f64> {
         match self.cfg.mode {
             EngineMode::Timely => vec![1.0],
-            _ => self.profiles[&op].instance_weights(self.partitions_of(op)),
+            _ => self.profiles[op].instance_weights(self.partitions_of(op)),
         }
     }
 
@@ -386,15 +462,12 @@ impl FluidEngine {
         self.states = self
             .graph
             .operators()
-            .map(|op| (op, self.make_op_state(op)))
+            .map(|op| self.make_op_state(op))
             .collect();
     }
 
     fn window_period(&self, op: OperatorId) -> Option<u64> {
-        match self.profiles.get(&op).map(|p| p.output) {
-            Some(OutputMode::Windowed { period_ns, .. }) => Some(period_ns),
-            _ => None,
-        }
+        self.window_periods.get(op.index()).copied().flatten()
     }
 
     /// Current virtual time in nanoseconds.
@@ -416,12 +489,13 @@ impl FluidEngine {
     /// reads as the worker-pool size (each worker runs every operator).
     pub fn current_deployment(&self) -> Deployment {
         match self.cfg.mode {
-            EngineMode::Timely => Deployment::from_map(
-                self.graph
-                    .operators()
-                    .map(|op| (op, self.timely_workers))
-                    .collect(),
-            ),
+            EngineMode::Timely => {
+                let mut d = Deployment::with_len(self.graph.len());
+                for op in self.graph.operators() {
+                    d.set(op, self.timely_workers);
+                }
+                d
+            }
             _ => self.deployment.clone(),
         }
     }
@@ -453,12 +527,12 @@ impl FluidEngine {
 
     /// Current total input-queue length of an operator, in records.
     pub fn queue_len(&self, op: OperatorId) -> f64 {
-        self.states.get(&op).map_or(0.0, |s| s.queued())
+        self.states.get(op.index()).map_or(0.0, |s| s.queued())
     }
 
     /// Durable backlog of a source, in records.
     pub fn backlog(&self, op: OperatorId) -> f64 {
-        self.backlog.get(&op).copied().unwrap_or(0.0)
+        self.backlog.get(op.index()).copied().unwrap_or(0.0)
     }
 
     /// Requests a rescale to `plan` (Flink/Heron) taking effect after the
@@ -501,11 +575,13 @@ impl FluidEngine {
         let mut events = TickEvents::default();
         let tick_ns = self.cfg.tick_ns;
         let tick_end = self.now_ns + tick_ns;
-        let mut stats = TickStats::default();
+        // Recycle last tick's stats buffers (O(1) epoch-stamped clear).
+        let mut stats = std::mem::take(&mut self.last_tick);
+        stats.clear();
 
         // Redeployment window: the job is down. Sources accumulate durable
         // backlog; every instance only waits.
-        if let Some((resume_at, plan, workers)) = self.pending_rescale.clone() {
+        if let Some(resume_at) = self.pending_rescale.as_ref().map(|p| p.0) {
             if tick_end < resume_at {
                 self.halted_tick(&mut stats, tick_ns);
                 self.now_ns = tick_end;
@@ -515,10 +591,10 @@ impl FluidEngine {
             // Deploy now: apply the plan, redistribute queued records into
             // the new partitioning (the savepoint restored operator state),
             // resize accumulators.
+            let (_, plan, workers) = self.pending_rescale.take().expect("checked above");
             self.halted_tick(&mut stats, tick_ns);
             self.deployment = plan;
             self.timely_workers = workers;
-            self.pending_rescale = None;
             self.apply_new_partitioning();
             self.heron_backpressure = false;
             events.deployed = Some(self.current_deployment());
@@ -538,7 +614,7 @@ impl FluidEngine {
         if self.cfg.mode == EngineMode::Heron {
             let max_fill = self
                 .states
-                .values()
+                .iter()
                 .flat_map(|s| s.queues.iter())
                 .map(|q| q.fill_fraction())
                 .fold(0.0f64, f64::max);
@@ -557,7 +633,7 @@ impl FluidEngine {
         // Epoch tracking: the frontier is the oldest source tag still queued
         // or buffered anywhere.
         let mut frontier: Option<u64> = None;
-        for st in self.states.values() {
+        for st in &self.states {
             let candidates = st
                 .queues
                 .iter()
@@ -577,18 +653,18 @@ impl FluidEngine {
     fn apply_new_partitioning(&mut self) {
         for op in self.graph.operators() {
             let new_state = self.make_op_state(op);
-            let old = self.states.insert(op, new_state).expect("state exists");
-            let st = self.states.get_mut(&op).expect("just inserted");
-            st.window_pending = old.window_pending;
-            st.window_pending_oldest = old.window_pending_oldest;
-            st.next_fire_ns = old.next_fire_ns;
+            let old = std::mem::replace(&mut self.states[op.index()], new_state);
             // Collect old spans (merge partitions, oldest first) and
             // repartition them into the new queues.
             let mut spans: Vec<Span> = Vec::new();
             for mut q in old.queues {
-                spans.extend(q.pop(f64::INFINITY));
+                q.pop_into(f64::INFINITY, &mut spans);
             }
             spans.sort_by_key(|s| s.emitted_ns);
+            let st = &mut self.states[op.index()];
+            st.window_pending = old.window_pending;
+            st.window_pending_oldest = old.window_pending_oldest;
+            st.next_fire_ns = old.next_fire_ns;
             for span in spans {
                 st.push_partitioned(span.emitted_ns, span.records);
             }
@@ -601,15 +677,15 @@ impl FluidEngine {
     fn halted_tick(&mut self, stats: &mut TickStats, tick_ns: u64) {
         stats.halted = true;
         let tick_s = tick_ns as f64 / 1e9;
-        for (&op, spec) in &self.sources {
+        for (op, spec) in self.sources.iter() {
             let offered = spec.schedule.rate_at(self.now_ns) * tick_s;
             stats.offered.insert(op, offered);
             stats.emitted.insert(op, 0.0);
             if spec.durable_backlog {
-                *self.backlog.entry(op).or_insert(0.0) += offered;
+                self.backlog[op.index()] += offered;
             }
         }
-        for st in self.states.values_mut() {
+        for st in &mut self.states {
             for acc in &mut st.acc {
                 acc.wait_input_ns += tick_ns as f64;
             }
@@ -636,40 +712,50 @@ impl FluidEngine {
     fn tick_timely(&mut self, stats: &mut TickStats, tick_ns: u64) {
         let tick_s = tick_ns as f64 / 1e9;
         // Sources emit first and fully.
-        let source_ids: Vec<OperatorId> = self.sources.keys().copied().collect();
-        for op in source_ids {
+        for i in 0..self.graph.sources().len() {
+            let op = self.graph.sources()[i];
             self.source_emit(op, stats, tick_s);
         }
 
         // Fair-share allocation of `workers × tick` nanoseconds.
-        let ops: Vec<OperatorId> = self
-            .graph
-            .topological_order()
-            .filter(|op| !self.graph.is_source(*op))
-            .collect();
         let mut budget = self.timely_workers as f64 * tick_ns as f64;
         // Only work queued at tick start is eligible (one-tick pipeline
         // latency per hop, matching the blocking personality).
-        let mut eligible: BTreeMap<OperatorId, f64> = ops
-            .iter()
-            .map(|&op| (op, self.states[&op].queued()))
-            .collect();
-        let noises: BTreeMap<OperatorId, f64> =
-            ops.iter().map(|&op| (op, self.noise_factor())).collect();
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        let mut noises = std::mem::take(&mut self.noise_scratch);
+        eligible.clear();
+        eligible.resize(self.graph.len(), 0.0);
+        noises.clear();
+        noises.resize(self.graph.len(), 0.0);
+        for i in 0..self.non_source_topo.len() {
+            let op = self.non_source_topo[i];
+            eligible[op.index()] = self.states[op.index()].queued();
+        }
+        for i in 0..self.non_source_topo.len() {
+            let op = self.non_source_topo[i];
+            noises[op.index()] = self.noise_factor();
+        }
 
         for _round in 0..4 {
-            let active: Vec<OperatorId> = ops
+            let active = self
+                .non_source_topo
                 .iter()
-                .copied()
-                .filter(|op| eligible[op] > 1e-9)
-                .collect();
-            if active.is_empty() || budget <= 1.0 {
+                .filter(|op| eligible[op.index()] > 1e-9)
+                .count();
+            if active == 0 || budget <= 1.0 {
                 break;
             }
-            let share = budget / active.len() as f64;
-            for op in active {
-                let real_cost = self.cost_cache[&op].1 * noises[&op];
-                let want_records = eligible[&op];
+            let share = budget / active as f64;
+            for i in 0..self.non_source_topo.len() {
+                let op = self.non_source_topo[i];
+                // Eligibility was fixed when the round's share was computed:
+                // an operator's own entry only changes when it is processed,
+                // exactly once per round.
+                if eligible[op.index()] <= 1e-9 {
+                    continue;
+                }
+                let real_cost = self.cost_cache[op.index()].1 * noises[op.index()];
+                let want_records = eligible[op.index()];
                 let afford = share / real_cost;
                 let n = want_records.min(afford);
                 if n <= 1e-12 {
@@ -677,16 +763,20 @@ impl FluidEngine {
                 }
                 let used_ns = n * real_cost;
                 budget -= used_ns;
-                *eligible.get_mut(&op).unwrap() -= n;
+                eligible[op.index()] -= n;
                 self.timely_drain(op, n, used_ns);
             }
         }
+        self.eligible_scratch = eligible;
+        self.noise_scratch = noises;
+
         // Remaining budget is spinning time: in Timely, workers burn it
         // polling empty queues. Spread it as input-wait across operators.
         if budget > 0.0 {
-            let n_ops = ops.len().max(1) as f64;
-            for op in &ops {
-                let st = self.states.get_mut(op).expect("state");
+            let n_ops = self.non_source_topo.len().max(1) as f64;
+            for i in 0..self.non_source_topo.len() {
+                let op = self.non_source_topo[i];
+                let st = &mut self.states[op.index()];
                 let per_inst = budget / n_ops / st.acc.len().max(1) as f64;
                 for acc in &mut st.acc {
                     acc.wait_input_ns += per_inst;
@@ -714,7 +804,7 @@ impl FluidEngine {
     /// downstream queue space; Timely never blocks).
     fn source_emit(&mut self, op: OperatorId, stats: &mut TickStats, tick_s: f64) {
         let (offered, generation_cost_ns, durable_backlog) = {
-            let spec = &self.sources[&op];
+            let spec = &self.sources[op];
             (
                 spec.schedule.rate_at(self.now_ns) * tick_s,
                 spec.generation_cost_ns,
@@ -726,7 +816,7 @@ impl FluidEngine {
         let p = self.deployment.parallelism(op).max(1) as f64;
         let tick_ns = self.cfg.tick_ns as f64;
 
-        let mut budget = offered + self.backlog.get(&op).copied().unwrap_or(0.0);
+        let mut budget = offered + self.backlog[op.index()];
 
         // Generation capacity of the source instances themselves.
         if generation_cost_ns > 0.0 {
@@ -742,8 +832,8 @@ impl FluidEngine {
         // Blocking personalities: cannot emit past downstream queue space.
         let mut emit = budget;
         if self.cfg.mode != EngineMode::Timely {
-            for &(to, weight) in &self.down_edges[&op] {
-                let limit = self.states[&to].accept_limit();
+            for &(to, weight) in &self.down_edges[op.index()] {
+                let limit = self.states[to.index()].accept_limit();
                 if weight > 0.0 {
                     emit = emit.min(limit / weight);
                 }
@@ -751,24 +841,27 @@ impl FluidEngine {
         }
         emit = emit.max(0.0);
 
-        for i in 0..self.down_edges[&op].len() {
-            let (to, weight) = self.down_edges[&op][i];
-            let st = self.states.get_mut(&to).expect("state");
-            st.push_partitioned(self.now_ns, emit * weight);
+        {
+            let now = self.now_ns;
+            let edges = &self.down_edges[op.index()];
+            let states = &mut self.states;
+            for &(to, weight) in edges {
+                states[to.index()].push_partitioned(now, emit * weight);
+            }
         }
 
         // Backlog bookkeeping.
-        let leftover = (offered + self.backlog.get(&op).copied().unwrap_or(0.0)) - emit;
-        if durable_backlog {
-            self.backlog.insert(op, leftover.max(0.0));
+        let leftover = (offered + self.backlog[op.index()]) - emit;
+        self.backlog[op.index()] = if durable_backlog {
+            leftover.max(0.0)
         } else {
-            self.backlog.insert(op, 0.0);
-        }
+            0.0
+        };
 
         stats.emitted.insert(op, emit);
 
         // Source instance counters: emission is useful output work.
-        let st = self.states.get_mut(&op).expect("state");
+        let st = &mut self.states[op.index()];
         let n_inst = st.acc.len().max(1) as f64;
         let busy_per_inst = if generation_cost_ns > 0.0 {
             (emit / n_inst) * generation_cost_ns
@@ -797,8 +890,8 @@ impl FluidEngine {
             return f64::INFINITY;
         }
         let mut limit = f64::INFINITY;
-        for &(to, weight) in &self.down_edges[&op] {
-            let accept = self.states[&to].accept_limit();
+        for &(to, weight) in &self.down_edges[op.index()] {
+            let accept = self.states[to.index()].accept_limit();
             if weight > 0.0 {
                 limit = limit.min(accept / (selectivity * weight));
             }
@@ -809,32 +902,27 @@ impl FluidEngine {
     /// Processes one non-source operator for one tick of the blocking
     /// personalities.
     fn operator_process(&mut self, op: OperatorId, tick_ns: u64, noise: f64) {
-        let (instr_base, real_base) = self.cost_cache[&op];
+        let i = op.index();
+        let (instr_base, real_base) = self.cost_cache[i];
         let instr_cost = instr_base * noise;
         let real_cost = real_base * noise;
         let cap_inst = tick_ns as f64 / real_cost;
-        let output = self.profiles[&op].output;
+        let output = self.output_modes[i].expect("non-source operators have profiles");
 
         // Per-instance desired drains from their own partitions.
-        let mut takes: Vec<f64> = self.states[&op]
-            .queues
-            .iter()
-            .map(|q| q.len().min(cap_inst))
-            .collect();
+        let mut takes = std::mem::take(&mut self.takes_scratch);
+        takes.clear();
+        takes.extend(self.states[i].queues.iter().map(|q| q.len().min(cap_inst)));
         let want_total: f64 = takes.iter().sum();
 
         // Output-space constraint (windowed operators buffer internally, so
         // only their flush is space-limited).
         let sel = output.average_selectivity();
         let mut out_limited = false;
-        if matches!(output, OutputMode::PerRecord { .. }) {
+        if want_total > 0.0 && matches!(output, OutputMode::PerRecord { .. }) {
             let limit = self.output_space_limit(op, sel);
             if want_total > limit {
-                let factor = if want_total > 0.0 {
-                    limit / want_total
-                } else {
-                    0.0
-                };
+                let factor = limit / want_total;
                 for t in &mut takes {
                     *t *= factor;
                 }
@@ -849,35 +937,56 @@ impl FluidEngine {
         let mut out_total = 0.0f64;
         let mut win_buf = 0.0f64;
         let mut win_oldest: Option<u64> = None;
-        let mut drained_spans: Vec<Span> = Vec::new();
+        let mut drained = std::mem::take(&mut self.span_scratch);
+        drained.clear();
         {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             for (k, take) in takes.iter().enumerate() {
                 if *take <= 0.0 {
                     continue;
                 }
-                let spans = st.queues[k].pop(*take);
-                drained_spans.extend(spans);
+                st.queues[k].pop_into(*take, &mut drained);
             }
+        }
+        // Coalesce same-tag spans before routing. The p partitions drain
+        // fragments of the same source pushes (identical emission tags);
+        // routing each fragment separately costs p × p' queue pushes per
+        // tick and fragments the receiving queues' span lists in turn.
+        // Sorting by tag and merging makes routing one push per distinct
+        // tag and keeps downstream span lists short — the dominant cost of
+        // large converged deployments. Record weights are preserved, so
+        // latency accounting is unchanged.
+        if drained.len() > 1 {
+            drained.sort_unstable_by_key(|s| s.emitted_ns);
+            let mut w = 0usize;
+            for r in 1..drained.len() {
+                if drained[r].emitted_ns == drained[w].emitted_ns {
+                    drained[w].records += drained[r].records;
+                } else {
+                    w += 1;
+                    drained[w] = drained[r];
+                }
+            }
+            drained.truncate(w + 1);
         }
         match output {
             OutputMode::PerRecord { selectivity } => {
-                let edges = &self.down_edges[&op];
-                for span in &drained_spans {
+                for span in &drained {
                     if is_sink {
                         self.latency
                             .record(tick_end.saturating_sub(span.emitted_ns), span.records);
                     }
                     let out = span.records * selectivity;
                     out_total += out;
+                    let edges = &self.down_edges[i];
+                    let states = &mut self.states;
                     for &(to, weight) in edges {
-                        let st = self.states.get_mut(&to).expect("state");
-                        st.push_partitioned(span.emitted_ns, out * weight);
+                        states[to.index()].push_partitioned(span.emitted_ns, out * weight);
                     }
                 }
             }
             OutputMode::Windowed { selectivity, .. } => {
-                for span in &drained_spans {
+                for span in &drained {
                     win_buf += span.records * selectivity;
                     win_oldest =
                         Some(win_oldest.map_or(span.emitted_ns, |o: u64| o.min(span.emitted_ns)));
@@ -887,7 +996,7 @@ impl FluidEngine {
 
         // Instance accounting: instance k processed takes[k].
         {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             let n_out_share = if st.acc.is_empty() {
                 0.0
             } else {
@@ -915,6 +1024,8 @@ impl FluidEngine {
                 };
             }
         }
+        self.takes_scratch = takes;
+        self.span_scratch = drained;
 
         self.maybe_fire_window(op);
     }
@@ -922,20 +1033,22 @@ impl FluidEngine {
     /// Timely drain path: `n` records off the operator's shared queue,
     /// `used_ns` of worker time spent.
     fn timely_drain(&mut self, op: OperatorId, n: f64, used_ns: f64) {
-        let output = self.profiles[&op].output;
-        let spans = {
-            let st = self.states.get_mut(&op).expect("state");
-            st.queues.first_mut().map(|q| q.pop(n)).unwrap_or_default()
-        };
+        let i = op.index();
+        let output = self.output_modes[i].expect("non-source operators have profiles");
+        let mut spans = std::mem::take(&mut self.span_scratch);
+        spans.clear();
+        if let Some(q) = self.states[i].queues.first_mut() {
+            q.pop_into(n, &mut spans);
+        }
 
         // Busy time spread over worker-instances; only the instrumented
         // fraction counts as useful.
         let instr_fraction = {
-            let (instr, real) = self.cost_cache[&op];
+            let (instr, real) = self.cost_cache[i];
             instr / real
         };
         {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             let w = st.acc.len().max(1) as f64;
             let drained: f64 = spans.iter().map(|s| s.records).sum();
             for acc in &mut st.acc {
@@ -950,7 +1063,6 @@ impl FluidEngine {
         match output {
             OutputMode::PerRecord { selectivity } => {
                 let mut out_total = 0.0;
-                let edges = &self.down_edges[&op];
                 for span in &spans {
                     if is_sink {
                         self.latency
@@ -958,19 +1070,20 @@ impl FluidEngine {
                     }
                     let out = span.records * selectivity;
                     out_total += out;
+                    let edges = &self.down_edges[i];
+                    let states = &mut self.states;
                     for &(to, weight) in edges {
-                        let st = self.states.get_mut(&to).expect("state");
-                        st.push_partitioned(span.emitted_ns, out * weight);
+                        states[to.index()].push_partitioned(span.emitted_ns, out * weight);
                     }
                 }
-                let st = self.states.get_mut(&op).expect("state");
+                let st = &mut self.states[i];
                 let w = st.acc.len().max(1) as f64;
                 for acc in &mut st.acc {
                     acc.records_out += out_total / w;
                 }
             }
             OutputMode::Windowed { selectivity, .. } => {
-                let st = self.states.get_mut(&op).expect("state");
+                let st = &mut self.states[i];
                 for span in &spans {
                     st.window_pending += span.records * selectivity;
                     st.window_pending_oldest = Some(
@@ -980,6 +1093,7 @@ impl FluidEngine {
                 }
             }
         }
+        self.span_scratch = spans;
 
         self.maybe_fire_window(op);
     }
@@ -989,9 +1103,10 @@ impl FluidEngine {
         let Some(period) = self.window_period(op) else {
             return;
         };
+        let i = op.index();
         let tick_end = self.now_ns + self.cfg.tick_ns;
         let (fire, pending, oldest) = {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             if st.next_fire_ns == u64::MAX {
                 st.next_fire_ns = tick_end + period;
             }
@@ -1010,28 +1125,31 @@ impl FluidEngine {
             return;
         }
         let tag = oldest.unwrap_or(self.now_ns);
-        let n_inst = self.states[&op].acc.len().max(1) as f64;
+        let n_inst = self.states[i].acc.len().max(1) as f64;
         if self.graph.is_sink(op) {
             self.latency.record(tick_end.saturating_sub(tag), pending);
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             for acc in &mut st.acc {
                 acc.records_out += pending / n_inst;
             }
             return;
         }
         let mut spilled = 0.0f64;
-        for i in 0..self.down_edges[&op].len() {
-            let (to, weight) = self.down_edges[&op][i];
-            let st = self.states.get_mut(&to).expect("state");
-            // Window flushes are bursts: a bounded receiving queue may not
-            // absorb everything; the spill stays pending for the next tick.
-            let accept = st.accept_limit();
-            let send = (pending * weight).min(accept);
-            st.push_partitioned(tag, send);
-            spilled = spilled.max(pending - send / weight.max(1e-12));
+        {
+            let edges = &self.down_edges[i];
+            let states = &mut self.states;
+            for &(to, weight) in edges {
+                let st = &mut states[to.index()];
+                // Window flushes are bursts: a bounded receiving queue may not
+                // absorb everything; the spill stays pending for the next tick.
+                let accept = st.accept_limit();
+                let send = (pending * weight).min(accept);
+                st.push_partitioned(tag, send);
+                spilled = spilled.max(pending - send / weight.max(1e-12));
+            }
         }
         if spilled > 0.0 {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             st.window_pending += spilled;
             st.window_pending_oldest = Some(st.window_pending_oldest.map_or(tag, |o| o.min(tag)));
             // Retry the remainder at the next tick rather than next period.
@@ -1039,68 +1157,78 @@ impl FluidEngine {
         }
         let emitted = pending - spilled;
         if emitted > 0.0 {
-            let st = self.states.get_mut(&op).expect("state");
+            let st = &mut self.states[i];
             for acc in &mut st.acc {
                 acc.records_out += emitted / n_inst;
             }
         }
     }
 
-    /// Closes the instrumentation window: per-instance metrics since the
-    /// previous snapshot, plus the offered rate of every source.
+    /// Closes the instrumentation window into a fresh snapshot. Allocates;
+    /// control loops that close a window every policy interval should hold
+    /// a snapshot buffer and use [`FluidEngine::collect_snapshot_into`].
+    pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::with_len(self.graph.len());
+        self.collect_snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Closes the instrumentation window into `snap` (cleared first):
+    /// per-instance metrics since the previous snapshot, plus the offered
+    /// rate of every source. Reusing one snapshot buffer across windows
+    /// recycles its per-operator instance vectors, so the steady-state
+    /// metrics path performs no heap allocation.
     ///
     /// Record counts are rounded to integers; useful time is scaled by the
     /// same rounding factor so the *measured true rates* equal the fluid
     /// model's exact rates (no quantization bias at ceiling boundaries).
-    pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+    pub fn collect_snapshot_into(&mut self, snap: &mut MetricsSnapshot) {
         let window_ns = self.now_ns - self.snapshot_start_ns;
-        let mut snap = MetricsSnapshot::new();
-        for (op, st) in self.states.iter_mut() {
-            let is_source = self.graph.is_source(*op);
-            let instances: Vec<InstanceMetrics> = st
-                .acc
-                .iter()
-                .map(|acc| {
-                    let dominant = if is_source {
-                        acc.records_out
-                    } else {
-                        acc.records_in
-                    };
-                    let rounded = dominant.round();
-                    // Scale every field by the dominant count's rounding
-                    // factor so measured rates *and selectivity* equal the
-                    // fluid model's exact values.
-                    let factor = if dominant > 0.0 {
-                        rounded / dominant
-                    } else {
-                        0.0
-                    };
-                    // Clamp sequentially so `useful + waits <= window` (the
-                    // scaling factor can push useful a hair past the exact
-                    // complement of the accumulated waits).
-                    let useful_ns = ((acc.useful_ns * factor).round() as u64).min(window_ns);
-                    let wait_input_ns =
-                        (acc.wait_input_ns.round() as u64).min(window_ns - useful_ns);
-                    let wait_output_ns = (acc.wait_output_ns.round() as u64)
-                        .min(window_ns - useful_ns - wait_input_ns);
-                    InstanceMetrics {
-                        records_in: (acc.records_in * factor).round() as u64,
-                        records_out: (acc.records_out * factor).round() as u64,
-                        useful_ns,
-                        window_ns,
-                        wait_input_ns,
-                        wait_output_ns,
-                    }
-                })
-                .collect();
-            snap.insert_instances(*op, instances);
-            st.acc = vec![InstanceAcc::default(); st.acc.len()];
+        snap.clear();
+        for i in 0..self.states.len() {
+            let op = OperatorId(i);
+            let is_source = self.graph.is_source(op);
+            let st = &mut self.states[i];
+            let metrics = snap.operator_slot(op);
+            for acc in &st.acc {
+                let dominant = if is_source {
+                    acc.records_out
+                } else {
+                    acc.records_in
+                };
+                let rounded = dominant.round();
+                // Scale every field by the dominant count's rounding
+                // factor so measured rates *and selectivity* equal the
+                // fluid model's exact values.
+                let factor = if dominant > 0.0 {
+                    rounded / dominant
+                } else {
+                    0.0
+                };
+                // Clamp sequentially so `useful + waits <= window` (the
+                // scaling factor can push useful a hair past the exact
+                // complement of the accumulated waits).
+                let useful_ns = ((acc.useful_ns * factor).round() as u64).min(window_ns);
+                let wait_input_ns = (acc.wait_input_ns.round() as u64).min(window_ns - useful_ns);
+                let wait_output_ns =
+                    (acc.wait_output_ns.round() as u64).min(window_ns - useful_ns - wait_input_ns);
+                metrics.instances.push(InstanceMetrics {
+                    records_in: (acc.records_in * factor).round() as u64,
+                    records_out: (acc.records_out * factor).round() as u64,
+                    useful_ns,
+                    window_ns,
+                    wait_input_ns,
+                    wait_output_ns,
+                });
+            }
+            for acc in &mut st.acc {
+                *acc = InstanceAcc::default();
+            }
         }
-        for (&op, spec) in &self.sources {
+        for (op, spec) in self.sources.iter() {
             snap.set_source_rate(op, spec.schedule.rate_at(self.now_ns));
         }
         self.snapshot_start_ns = self.now_ns;
-        snap
     }
 
     /// Runs the engine for `duration_ns`, ignoring events.
@@ -1535,7 +1663,7 @@ mod tests {
             .unwrap();
         assert!((obs1 - 2_000.0).abs() < 100.0);
         assert!((obs2 - 500.0).abs() < 50.0);
-        assert_eq!(snap.source_rates[&ids[0]], 500.0);
+        assert_eq!(snap.source_rate(ids[0]), Some(500.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use ds2_core::controller::{ControllerVerdict, ScalingController};
 use ds2_core::deployment::Deployment;
 use ds2_core::graph::OperatorId;
+use ds2_core::snapshot::MetricsSnapshot;
 
 use crate::engine::FluidEngine;
 use crate::latency::LatencyRecorder;
@@ -149,8 +150,24 @@ impl<C: ScalingController> ClosedLoop<C> {
         &self.controller
     }
 
+    /// Consumes the loop, yielding the controller (e.g. to recover a pooled
+    /// [`PolicyWorkspace`](ds2_core::policy::PolicyWorkspace) after a run).
+    pub fn into_controller(self) -> C {
+        self.controller
+    }
+
     /// Runs the loop for the configured duration and reports the outcome.
     pub fn run(&mut self) -> RunResult {
+        let mut snapshot = MetricsSnapshot::with_len(self.engine.graph().len());
+        self.run_reusing(&mut snapshot)
+    }
+
+    /// Like [`ClosedLoop::run`], collecting metrics windows into a
+    /// caller-owned snapshot buffer. The buffer is cleared (epoch-stamped)
+    /// and refilled each policy interval, so a loop driven this way closes
+    /// windows without heap allocation — and matrix runners can recycle one
+    /// buffer across many runs.
+    pub fn run_reusing(&mut self, snapshot: &mut MetricsSnapshot) -> RunResult {
         let mut timeline = Vec::new();
         let mut decisions = Vec::new();
 
@@ -164,9 +181,12 @@ impl<C: ScalingController> ClosedLoop<C> {
 
         while self.engine.now_ns() < end {
             let events = self.engine.tick();
-            let stats = self.engine.last_tick().clone();
-            bucket_offered += stats.offered.values().sum::<f64>();
-            bucket_emitted += stats.emitted.values().sum::<f64>();
+            let (backpressure, halted) = {
+                let stats = self.engine.last_tick();
+                bucket_offered += stats.total_offered();
+                bucket_emitted += stats.total_emitted();
+                (stats.backpressure, stats.halted)
+            };
 
             if let Some(deployment) = events.deployed {
                 self.controller
@@ -174,7 +194,7 @@ impl<C: ScalingController> ClosedLoop<C> {
                 // Metrics accumulated while the job was down describe no
                 // useful execution: drop them so the first post-deploy
                 // window is clean.
-                let _ = self.engine.collect_snapshot();
+                self.engine.collect_snapshot_into(snapshot);
                 next_policy = self.engine.now_ns() + self.cfg.policy_interval_ns;
             }
 
@@ -182,7 +202,7 @@ impl<C: ScalingController> ClosedLoop<C> {
 
             if now >= next_sample {
                 let bucket_s = (now - bucket_start) as f64 / 1e9;
-                let parallelism = self.engine.current_deployment().as_map().clone();
+                let parallelism = self.engine.current_deployment().to_map();
                 let total_queued = self
                     .engine
                     .graph()
@@ -203,8 +223,8 @@ impl<C: ScalingController> ClosedLoop<C> {
                     },
                     parallelism,
                     timely_workers: self.engine.timely_workers(),
-                    backpressure: stats.backpressure,
-                    halted: stats.halted,
+                    backpressure,
+                    halted,
                     total_queued,
                 });
                 bucket_offered = 0.0;
@@ -214,9 +234,9 @@ impl<C: ScalingController> ClosedLoop<C> {
             }
 
             if now >= next_policy && !self.engine.is_halted() {
-                let snapshot = self.engine.collect_snapshot();
+                self.engine.collect_snapshot_into(snapshot);
                 let current = self.engine.current_deployment();
-                match self.controller.on_metrics(now, &snapshot, &current) {
+                match self.controller.on_metrics(now, snapshot, &current) {
                     ControllerVerdict::NoAction => {}
                     ControllerVerdict::Rescale(plan) => {
                         if self.cfg.timely {

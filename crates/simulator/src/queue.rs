@@ -106,10 +106,19 @@ impl EpochQueue {
     }
 
     /// Dequeues up to `amount` records in FIFO order, returning the drained
-    /// spans (oldest first).
+    /// spans (oldest first). Allocates; hot paths use
+    /// [`EpochQueue::pop_into`] with a reused buffer instead.
     pub fn pop(&mut self, amount: f64) -> Vec<Span> {
-        let mut remaining = amount.min(self.total).max(0.0);
         let mut drained = Vec::new();
+        self.pop_into(amount, &mut drained);
+        drained
+    }
+
+    /// Dequeues up to `amount` records in FIFO order, *appending* the
+    /// drained spans (oldest first) to `out` — the allocation-free variant
+    /// of [`EpochQueue::pop`] for callers that recycle a scratch buffer.
+    pub fn pop_into(&mut self, amount: f64, out: &mut Vec<Span>) {
+        let mut remaining = amount.min(self.total).max(0.0);
         while remaining > 1e-12 {
             let Some(front) = self.spans.front_mut() else {
                 break;
@@ -117,12 +126,12 @@ impl EpochQueue {
             if front.records <= remaining + 1e-12 {
                 remaining -= front.records;
                 self.total -= front.records;
-                drained.push(*front);
+                out.push(*front);
                 self.spans.pop_front();
             } else {
                 front.records -= remaining;
                 self.total -= remaining;
-                drained.push(Span {
+                out.push(Span {
                     emitted_ns: front.emitted_ns,
                     records: remaining,
                 });
@@ -130,7 +139,6 @@ impl EpochQueue {
             }
         }
         self.total = self.total.max(0.0);
-        drained
     }
 
     /// Discards all queued records (used when a failed job is not restored).
@@ -203,6 +211,22 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert!(q.is_empty());
         assert_eq!(q.oldest_ns(), None);
+    }
+
+    #[test]
+    fn pop_into_appends_to_reused_buffer() {
+        let mut q = EpochQueue::new(100.0);
+        q.push(10, 30.0);
+        q.push(20, 30.0);
+        let mut buf = vec![Span {
+            emitted_ns: 0,
+            records: 1.0,
+        }];
+        q.pop_into(40.0, &mut buf);
+        assert_eq!(buf.len(), 3, "appends after existing contents");
+        assert_eq!(buf[1].emitted_ns, 10);
+        assert_eq!(buf[2].emitted_ns, 20);
+        assert!((buf[2].records - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -29,12 +29,35 @@ use ds2_baselines::{
 };
 use ds2_core::deployment::Deployment;
 use ds2_core::manager::{ManagerConfig, ScalingManager};
-use ds2_core::policy::PolicyConfig;
+use ds2_core::policy::{PolicyConfig, PolicyWorkspace};
+use ds2_core::snapshot::MetricsSnapshot;
 
 use crate::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
 use crate::harness::{ClosedLoop, HarnessConfig, RunResult};
 
 use super::generator::{GeneratorConfig, ScenarioSpec};
+
+/// Reusable per-worker scratch for matrix cells: the policy-evaluation
+/// workspace and the metrics-snapshot buffer a closed-loop run fills every
+/// policy interval. One arena is allocated per worker thread (or one for
+/// the sequential runner) and recycled across all of that worker's cells —
+/// the buffers are cleared by epoch-stamping between windows, so thousands
+/// of cells share a handful of allocations. Outcomes must be (and are,
+/// guarded by tests) bit-identical to fresh-arena runs.
+#[derive(Debug, Default)]
+pub struct CellArena {
+    /// Metrics-window buffer handed to [`ClosedLoop::run_reusing`].
+    snapshot: MetricsSnapshot,
+    /// DS2 policy evaluation workspace, threaded through the manager.
+    policy_ws: PolicyWorkspace,
+}
+
+impl CellArena {
+    /// Creates an empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The controller families the matrix can drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -337,13 +360,15 @@ impl ScenarioMatrix {
 
         if threads <= 1 || cells <= 1 {
             // Sequential path: generate each scenario once and drive every
-            // controller over it in matrix order.
+            // controller over it in matrix order, recycling one arena
+            // across all cells.
+            let mut arena = CellArena::new();
             let mut outcomes = Vec::with_capacity(cells);
             for i in 0..self.config.scenarios {
                 let seed = self.config.base_seed + i as u64;
                 let spec = ScenarioSpec::generate(seed, &self.config.generator);
                 for &kind in &self.config.controllers {
-                    let outcome = self.run_one(&spec, kind);
+                    let outcome = self.run_one_with(&spec, kind, &mut arena);
                     observer(&spec, &outcome);
                     outcomes.push(outcome);
                 }
@@ -372,12 +397,14 @@ impl ScenarioMatrix {
                 let work_rx = work_rx.clone();
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
+                    // One arena per worker, recycled across all of its cells.
+                    let mut arena = CellArena::new();
                     while let Ok(cell) = work_rx.recv() {
                         let scenario_index = cell / n_controllers;
                         let kind = self.config.controllers[cell % n_controllers];
                         let seed = self.config.base_seed + scenario_index as u64;
                         let spec = ScenarioSpec::generate(seed, &self.config.generator);
-                        let outcome = self.run_one(&spec, kind);
+                        let outcome = self.run_one_with(&spec, kind, &mut arena);
                         if result_tx.send((cell, spec, outcome)).is_err() {
                             // Collector gone (panic unwinding); stop early.
                             break;
@@ -402,8 +429,22 @@ impl ScenarioMatrix {
         }
     }
 
-    /// Runs one scenario under one controller and scores the result.
+    /// Runs one scenario under one controller and scores the result, with a
+    /// fresh arena (reproduction / one-off use).
     pub fn run_one(&self, spec: &ScenarioSpec, kind: ControllerKind) -> ScenarioOutcome {
+        self.run_one_with(spec, kind, &mut CellArena::new())
+    }
+
+    /// Runs one scenario under one controller using `arena`'s recycled
+    /// buffers, and scores the result. Outcomes are independent of the
+    /// arena's history (buffers are fully cleared between uses); the
+    /// `arena_reuse_is_bit_identical` test guards that.
+    pub fn run_one_with(
+        &self,
+        spec: &ScenarioSpec,
+        kind: ControllerKind,
+        arena: &mut CellArena,
+    ) -> ScenarioOutcome {
         let engine = self.build_engine(spec);
         let harness = HarnessConfig {
             policy_interval_ns: self.config.policy_interval_ns,
@@ -414,8 +455,17 @@ impl ScenarioMatrix {
         let graph = spec.topology.graph.clone();
         let result = match kind {
             ControllerKind::Ds2 => {
-                let manager = ScalingManager::new(graph, self.ds2_config());
-                ClosedLoop::new(engine, manager, harness).run()
+                // Thread the arena's policy workspace through the manager
+                // and recover it for the worker's next cell.
+                let manager = ScalingManager::with_workspace(
+                    graph,
+                    self.ds2_config(),
+                    std::mem::take(&mut arena.policy_ws),
+                );
+                let mut the_loop = ClosedLoop::new(engine, manager, harness);
+                let result = the_loop.run_reusing(&mut arena.snapshot);
+                arena.policy_ws = the_loop.into_controller().take_workspace();
+                result
             }
             ControllerKind::Dhalion => {
                 // All controllers share the matrix's parallelism budget so
@@ -427,7 +477,7 @@ impl ScenarioMatrix {
                         ..Default::default()
                     },
                 );
-                ClosedLoop::new(engine, c, harness).run()
+                ClosedLoop::new(engine, c, harness).run_reusing(&mut arena.snapshot)
             }
             ControllerKind::Threshold => {
                 let c = ThresholdController::new(
@@ -437,7 +487,7 @@ impl ScenarioMatrix {
                         ..Default::default()
                     },
                 );
-                ClosedLoop::new(engine, c, harness).run()
+                ClosedLoop::new(engine, c, harness).run_reusing(&mut arena.snapshot)
             }
             ControllerKind::Queueing => {
                 let c = QueueingController::new(
@@ -447,7 +497,7 @@ impl ScenarioMatrix {
                         ..Default::default()
                     },
                 );
-                ClosedLoop::new(engine, c, harness).run()
+                ClosedLoop::new(engine, c, harness).run_reusing(&mut arena.snapshot)
             }
         };
         self.score(spec, kind, &result)
@@ -704,6 +754,33 @@ mod tests {
                 sequential.outcomes, parallel.outcomes,
                 "threads={threads} diverged from sequential"
             );
+        }
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        // The cross-cell leak guard: driving many different cells through
+        // ONE dirty arena must produce exactly the outcomes of fresh arenas
+        // — reused snapshot buffers and policy workspaces carry no state
+        // between cells.
+        let cfg = MatrixConfig {
+            scenarios: 5,
+            generator: GeneratorConfig {
+                operators: (2, 10),
+                run_duration_ns: 150_000_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let matrix = ScenarioMatrix::new(cfg.clone());
+        let mut shared = CellArena::new();
+        for i in 0..cfg.scenarios {
+            let spec = ScenarioSpec::generate(cfg.base_seed + i as u64, &cfg.generator);
+            for kind in [ControllerKind::Ds2, ControllerKind::Dhalion] {
+                let fresh = matrix.run_one_with(&spec, kind, &mut CellArena::new());
+                let reused = matrix.run_one_with(&spec, kind, &mut shared);
+                assert_eq!(fresh, reused, "seed {} {kind:?}", spec.seed);
+            }
         }
     }
 

@@ -51,8 +51,8 @@ pub mod workload;
 
 pub use generator::{GeneratorConfig, ScenarioSpec};
 pub use matrix::{
-    parallelism_sequences, ControllerKind, ControllerSummary, MatrixConfig, MatrixReport,
-    ScenarioMatrix, ScenarioOutcome,
+    parallelism_sequences, CellArena, ControllerKind, ControllerSummary, MatrixConfig,
+    MatrixReport, ScenarioMatrix, ScenarioOutcome,
 };
 pub use topology::{Topology, TopologyShape};
 pub use workload::{Workload, WorkloadShape};
