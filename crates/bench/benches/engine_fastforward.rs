@@ -1,0 +1,106 @@
+//! Macro-tick fast-forward vs exact tick-by-tick execution.
+//!
+//! One closed-loop DS2 run over a three-phase piecewise-constant workload
+//! (base → surge → recede), the shape fast-forward was built for: each
+//! constant phase settles into a steady state whose ticks the engine can
+//! prove identical and replay. `exact` forces tick-by-tick execution —
+//! the ratio between the two rows is the macro-tick speedup, and the
+//! committed scenario-matrix baseline (`BENCH_scenario_matrix.json`)
+//! tracks the same effect at matrix scale.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds2_core::deployment::Deployment;
+use ds2_core::graph::GraphBuilder;
+use ds2_core::manager::{ManagerConfig, ScalingManager};
+use ds2_simulator::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
+use ds2_simulator::harness::{ClosedLoop, HarnessConfig};
+use ds2_simulator::profile::{OperatorProfile, ProfileMap};
+use ds2_simulator::source::{RateSchedule, SourceSpec};
+
+/// A word-count-style chain driven by a three-phase schedule.
+fn build_engine(fast_forward: bool) -> (FluidEngine, ScalingManager) {
+    let mut b = GraphBuilder::new();
+    let src = b.operator("source");
+    let fm = b.operator("flat_map");
+    let cnt = b.operator("count");
+    let sink = b.operator("sink");
+    b.connect(src, fm);
+    b.connect(fm, cnt);
+    b.connect(cnt, sink);
+    let graph = b.build().unwrap();
+
+    let mut profiles = ProfileMap::new();
+    profiles.insert(fm, OperatorProfile::with_capacity(800.0, 2.0));
+    profiles.insert(cnt, OperatorProfile::with_capacity(1_500.0, 0.5));
+    profiles.insert(sink, OperatorProfile::with_capacity(2_000.0, 1.0));
+
+    // Three constant phases: base load, a 2.5x surge, recede to 1.5x.
+    let schedule = RateSchedule::steps(vec![
+        (0, 1_000.0),
+        (80_000_000_000, 2_500.0),
+        (160_000_000_000, 1_500.0),
+    ]);
+    let mut sources = BTreeMap::new();
+    sources.insert(src, SourceSpec::constant(1_000.0).with_schedule(schedule));
+
+    let mut deployment = Deployment::uniform(&graph, 1);
+    deployment.set(fm, 2);
+
+    let engine = FluidEngine::new(
+        graph.clone(),
+        profiles,
+        sources,
+        deployment,
+        EngineConfig {
+            tick_ns: 25_000_000,
+            reconfig_latency_ns: 10_000_000_000,
+            instrumentation: InstrumentationConfig::disabled(),
+            fast_forward,
+            track_record_latency: false,
+            ..Default::default()
+        },
+    );
+    let manager = ScalingManager::new(
+        graph,
+        ManagerConfig {
+            warmup_intervals: 1,
+            ..Default::default()
+        },
+    );
+    (engine, manager)
+}
+
+/// Runs the full 240-second closed loop once, returning the decision count
+/// (kept observable so the work cannot be optimized away).
+fn run_once(fast_forward: bool) -> usize {
+    let (engine, manager) = build_engine(fast_forward);
+    let mut the_loop = ClosedLoop::new(
+        engine,
+        manager,
+        HarnessConfig {
+            policy_interval_ns: 10_000_000_000,
+            run_duration_ns: 240_000_000_000,
+            ..Default::default()
+        },
+    );
+    the_loop.run().decisions.len()
+}
+
+fn bench_fastforward(c: &mut Criterion) {
+    // Sanity: both modes make identical decisions (the equivalence tests
+    // check the full RunResult; here we only keep the bench honest).
+    assert_eq!(run_once(true), run_once(false));
+
+    let mut group = c.benchmark_group("engine_fastforward");
+    for (label, fast_forward) in [("exact", false), ("fastforward", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| std::hint::black_box(run_once(fast_forward)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fastforward);
+criterion_main!(benches);

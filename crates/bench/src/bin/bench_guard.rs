@@ -1,9 +1,9 @@
-//! Bench-regression smoke: compares a freshly measured policy-latency JSON
-//! against the committed baseline and fails (exit 1) when the median of the
-//! guarded benchmark regressed beyond the tolerance.
+//! Bench-regression smoke: compares a freshly measured benchmark JSON
+//! against the committed baseline and fails (exit 1) when the guarded
+//! metric regressed beyond the tolerance.
 //!
 //! Usage:
-//! `bench_guard <baseline.json> <fresh.json> [--bench NAME] [--tolerance PCT] [--calibrate NAME]`
+//! `bench_guard <baseline.json> <fresh.json> [--bench NAME] [--field FIELD] [--higher-is-better] [--tolerance PCT] [--calibrate NAME]`
 //!
 //! Defaults guard `ds2_policy_evaluate/100ops_x16inst` at 25% tolerance —
 //! wide enough for same-machine run-to-run noise, tight enough to catch a
@@ -20,6 +20,15 @@
 //! the ratio cancels hardware while a *size-dependent* regression — extra
 //! per-operator work or allocation in the hot loop, which hits the 100-op
 //! case far harder than the 5-op case — still trips the gate.
+//!
+//! **Throughput gates.** `--field` selects the guarded numeric field
+//! (default `median_ns`), and `--higher-is-better` flips the comparison:
+//! the gate fails when the fresh value drops more than the tolerance
+//! *below* the baseline. CI uses this to gate scenario-matrix throughput
+//! (`--bench scenario_matrix/ds2_1threads --field scenarios_per_s
+//! --higher-is-better`): a simulator regression — fast-forward silently
+//! stopping to arm, a reintroduced per-partition loop — costs far more
+//! than the 25% budget, while run-to-run noise stays well inside it.
 //!
 //! The JSON is the fixed format the vendored criterion shim and
 //! `scenario_matrix --bench-json` emit: an array of flat objects with
@@ -38,8 +47,8 @@ fn field_f64(entry: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Extracts `median_ns` for the entry named `bench` from the shim's JSON.
-fn median_of(json: &str, bench: &str) -> Option<f64> {
+/// Extracts `field` for the entry named `bench` from the shim's JSON.
+fn metric_of(json: &str, bench: &str, field: &str) -> Option<f64> {
     for entry in json.split('{').skip(1) {
         let entry = entry.split('}').next()?;
         let name_pat = "\"name\":";
@@ -49,7 +58,7 @@ fn median_of(json: &str, bench: &str) -> Option<f64> {
         let rest = entry[pos + name_pat.len()..].trim_start();
         let name = rest.strip_prefix('"').and_then(|r| r.split('"').next());
         if name == Some(bench) {
-            return field_f64(entry, "median_ns");
+            return field_f64(entry, field);
         }
     }
     None
@@ -59,11 +68,15 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
     let mut bench = String::from("ds2_policy_evaluate/100ops_x16inst");
+    let mut field = String::from("median_ns");
+    let mut higher_is_better = false;
     let mut tolerance_pct = 25.0f64;
     let mut calibrate: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--bench" => bench = args.next().expect("--bench needs a value"),
+            "--field" => field = args.next().expect("--field needs a value"),
+            "--higher-is-better" => higher_is_better = true,
             "--tolerance" => {
                 tolerance_pct = args
                     .next()
@@ -77,7 +90,8 @@ fn main() -> ExitCode {
     let [baseline_path, fresh_path] = &positional[..] else {
         eprintln!(
             "usage: bench_guard <baseline.json> <fresh.json> \
-             [--bench NAME] [--tolerance PCT] [--calibrate NAME]"
+             [--bench NAME] [--field FIELD] [--higher-is-better] \
+             [--tolerance PCT] [--calibrate NAME]"
         );
         return ExitCode::from(2);
     };
@@ -91,12 +105,12 @@ fn main() -> ExitCode {
     let baseline_json = read(baseline_path);
     let fresh_json = read(fresh_path);
 
-    let Some(mut baseline) = median_of(&baseline_json, &bench) else {
-        eprintln!("bench_guard: '{bench}' not found in baseline {baseline_path}");
+    let Some(mut baseline) = metric_of(&baseline_json, &bench, &field) else {
+        eprintln!("bench_guard: '{bench}'.{field} not found in baseline {baseline_path}");
         return ExitCode::from(2);
     };
-    let Some(fresh) = median_of(&fresh_json, &bench) else {
-        eprintln!("bench_guard: '{bench}' not found in fresh run {fresh_path}");
+    let Some(fresh) = metric_of(&fresh_json, &bench, &field) else {
+        eprintln!("bench_guard: '{bench}'.{field} not found in fresh run {fresh_path}");
         return ExitCode::from(2);
     };
 
@@ -104,32 +118,41 @@ fn main() -> ExitCode {
     // reference benchmark moved between the baseline machine and this one.
     if let Some(reference) = &calibrate {
         let (Some(ref_base), Some(ref_fresh)) = (
-            median_of(&baseline_json, reference),
-            median_of(&fresh_json, reference),
+            metric_of(&baseline_json, reference, &field),
+            metric_of(&fresh_json, reference, &field),
         ) else {
             eprintln!("bench_guard: calibration bench '{reference}' missing from a file");
             return ExitCode::from(2);
         };
         if ref_base <= 0.0 {
-            eprintln!("bench_guard: calibration baseline median is zero");
+            eprintln!("bench_guard: calibration baseline {field} is zero or negative");
             return ExitCode::from(2);
         }
         let speed = ref_fresh / ref_base;
         baseline *= speed;
         println!(
             "bench_guard: calibrated by {reference}: machine factor {speed:.3} \
-             ({ref_base:.1} -> {ref_fresh:.1} ns)"
+             ({ref_base:.1} -> {ref_fresh:.1})"
         );
     }
 
-    let limit = baseline * (1.0 + tolerance_pct / 100.0);
+    // Lower-is-better metrics fail above `baseline × (1 + tol)`;
+    // higher-is-better metrics fail below `baseline × (1 − tol)`.
+    let (limit, regressed) = if higher_is_better {
+        let limit = baseline * (1.0 - tolerance_pct / 100.0);
+        (limit, fresh < limit)
+    } else {
+        let limit = baseline * (1.0 + tolerance_pct / 100.0);
+        (limit, fresh > limit)
+    };
+    let budget = if higher_is_better { "-" } else { "+" };
     println!(
-        "bench_guard: {bench}: baseline median {baseline:.1} ns, fresh {fresh:.1} ns \
-         (limit {limit:.1} ns at +{tolerance_pct}%)"
+        "bench_guard: {bench}.{field}: baseline {baseline:.1}, fresh {fresh:.1} \
+         (limit {limit:.1} at {budget}{tolerance_pct}%)"
     );
-    if fresh > limit {
+    if regressed {
         eprintln!(
-            "bench_guard: REGRESSION: median {fresh:.1} ns exceeds {limit:.1} ns \
+            "bench_guard: REGRESSION: {field} {fresh:.1} outside limit {limit:.1} \
              ({:+.1}% vs baseline)",
             (fresh / baseline - 1.0) * 100.0
         );
@@ -151,16 +174,45 @@ mod tests {
   {"name": "ds2_policy_evaluate/100ops_x16inst", "iterations": 10, "mean_ns": 5.0, "median_ns": 4200.5, "p95_ns": 9.0}
 ]"#;
 
+    const MATRIX_SAMPLE: &str = r#"[
+  {"name": "scenario_matrix/ds2_1threads", "threads": 1, "cpus": 1, "scenarios": 40, "elapsed_s": 0.063, "scenarios_per_s": 634.9},
+  {"name": "scenario_matrix/ds2_1threads_exact", "threads": 1, "cpus": 1, "scenarios": 40, "elapsed_s": 0.127, "scenarios_per_s": 315.0}
+]"#;
+
     #[test]
     fn extracts_named_median() {
         assert_eq!(
-            median_of(SAMPLE, "ds2_policy_evaluate/100ops_x16inst"),
+            metric_of(SAMPLE, "ds2_policy_evaluate/100ops_x16inst", "median_ns"),
             Some(4200.5)
         );
         assert_eq!(
-            median_of(SAMPLE, "ds2_policy_evaluate/5ops_x4inst"),
+            metric_of(SAMPLE, "ds2_policy_evaluate/5ops_x4inst", "median_ns"),
             Some(2.5)
         );
-        assert_eq!(median_of(SAMPLE, "nope"), None);
+        assert_eq!(metric_of(SAMPLE, "nope", "median_ns"), None);
+    }
+
+    #[test]
+    fn extracts_throughput_field() {
+        assert_eq!(
+            metric_of(
+                MATRIX_SAMPLE,
+                "scenario_matrix/ds2_1threads",
+                "scenarios_per_s"
+            ),
+            Some(634.9)
+        );
+        assert_eq!(
+            metric_of(
+                MATRIX_SAMPLE,
+                "scenario_matrix/ds2_1threads_exact",
+                "elapsed_s"
+            ),
+            Some(0.127)
+        );
+        assert_eq!(
+            metric_of(MATRIX_SAMPLE, "scenario_matrix/ds2_1threads", "nope"),
+            None
+        );
     }
 }

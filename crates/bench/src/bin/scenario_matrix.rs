@@ -11,8 +11,13 @@
 //!                     bit-identical for every value)
 //!   --seed S          base seed; scenario i runs seed S+i. Reproduce one
 //!                     failing seed with `--seed <seed> --scenarios 1`
-//!   --bench-json P    run the throughput baseline (1 thread vs all CPUs)
-//!                     and write it to P as JSON, then exit
+//!   --exact           disable macro-tick fast-forward: every tick is
+//!                     executed in full. The report is bit-identical to the
+//!                     default fast-forward mode (CI diffs the two); this
+//!                     is the escape hatch that proves it
+//!   --bench-json P    run the throughput baseline (1/4/8 threads with
+//!                     fast-forward, plus a 1-thread exact row) and write
+//!                     it to P as JSON, then exit
 //!   controllers       any of ds2/dhalion/threshold/queueing (default all)
 //! ```
 //!
@@ -49,6 +54,7 @@ fn main() {
     let mut threads: usize = 0;
     let mut seed: Option<u64> = None;
     let mut bench_json: Option<String> = None;
+    let mut fast_forward = true;
     let mut controllers: Vec<ControllerKind> = Vec::new();
 
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
@@ -57,6 +63,7 @@ fn main() {
             "--scenarios" => scenarios = parse_flag(&mut args, "--scenarios"),
             "--threads" => threads = parse_flag(&mut args, "--threads"),
             "--seed" => seed = Some(parse_flag(&mut args, "--seed")),
+            "--exact" => fast_forward = false,
             "--bench-json" => bench_json = args.next().or_else(|| usage_exit("--bench-json")),
             "ds2" => controllers.push(ControllerKind::Ds2),
             "dhalion" => controllers.push(ControllerKind::Dhalion),
@@ -79,6 +86,7 @@ fn main() {
         scenarios,
         threads,
         controllers: controllers.clone(),
+        fast_forward,
         ..Default::default()
     };
     if let Some(seed) = seed.or_else(|| {
@@ -167,22 +175,25 @@ fn main() {
 }
 
 /// Measures matrix throughput (scenarios/second) at each of the standard
-/// thread counts — 1, 4 and 8 — writing one JSON entry per count so the
-/// committed baseline captures both single-thread data-plane speed and
-/// parallel scaling. Thread counts beyond the host's CPUs still run (the
-/// sharded queue over-subscribes harmlessly); the `threads` field records
-/// the configuration, `cpus` the host, so readers can judge comparability.
+/// thread counts — 1, 4 and 8 with fast-forward, plus a 1-thread `--exact`
+/// row quantifying the macro-tick speedup — writing one JSON entry per
+/// configuration so the committed baseline captures single-thread
+/// data-plane speed, parallel scaling and the fast-forward ratio. Thread
+/// counts beyond the host's CPUs still run (the sharded queue
+/// over-subscribes harmlessly); the `threads` field records the
+/// configuration, `cpus` the host, so readers can judge comparability.
 fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let scenarios = base.scenarios.clamp(8, 64);
     let mut entries = Vec::new();
-    for threads in [1usize, 4, 8] {
+    for (threads, fast_forward) in [(1usize, true), (4, true), (8, true), (1, false)] {
         let config = MatrixConfig {
             scenarios,
             threads,
             controllers: vec![ControllerKind::Ds2],
+            fast_forward,
             ..base.clone()
         };
         let matrix = ScenarioMatrix::new(config);
@@ -190,13 +201,16 @@ fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
         let report = matrix.run();
         let elapsed = t0.elapsed().as_secs_f64();
         let per_s = scenarios as f64 / elapsed;
+        let suffix = if fast_forward { "" } else { "_exact" };
         eprintln!(
-            "bench: {scenarios} scenarios on {threads} thread(s): {elapsed:.2}s \
+            "bench: {scenarios} scenarios on {threads} thread(s){}: {elapsed:.2}s \
              ({per_s:.2} scenarios/s, {} outcomes)",
+            if fast_forward { "" } else { " [exact]" },
             report.outcomes.len()
         );
         entries.push(format!(
-            "  {{\"name\": \"scenario_matrix/ds2_{threads}threads\", \"threads\": {threads}, \
+            "  {{\"name\": \"scenario_matrix/ds2_{threads}threads{suffix}\", \
+             \"threads\": {threads}, \
              \"cpus\": {cpus}, \"scenarios\": {scenarios}, \"elapsed_s\": {elapsed:.3}, \
              \"scenarios_per_s\": {per_s:.3}}}"
         ));

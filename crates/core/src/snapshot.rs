@@ -147,6 +147,24 @@ impl MetricsSnapshot {
     }
 }
 
+/// Two snapshots are equal when they report the same operators with equal
+/// instance counters and the same source rates (bitwise on the rates) —
+/// regardless of internal arena capacity or epoch-stamp history, so a
+/// recycled buffer compares equal to a freshly collected one.
+///
+/// The simulator's fast-forward equivalence guarantee leans on this: a
+/// metrics window closed after any number of replayed macro-ticks must
+/// equal the window an exact tick-by-tick engine produces, bit for bit.
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.operators.iter().eq(other.operators.iter())
+            && self
+                .source_rates()
+                .map(|(op, r)| (op, r.to_bits()))
+                .eq(other.source_rates().map(|(op, r)| (op, r.to_bits())))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

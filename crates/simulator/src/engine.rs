@@ -28,6 +28,11 @@
 //! All per-operator runtime structures are dense arenas indexed by
 //! [`OperatorId::index`](ds2_core::graph::OperatorId::index); see
 //! [`FluidEngine`] for the allocation discipline of the tick path.
+//! Partitions with equal input shares are simulated as one representative
+//! *class* scaled by its count — they are bitwise clones of each other,
+//! so a uniform 64-wide operator ticks at the cost of a 1-wide one — and
+//! provably steady ticks are replayed rather than re-executed
+//! ([`crate::fastforward`], [`FluidEngine::tick_within`]).
 
 use std::collections::BTreeMap;
 
@@ -39,6 +44,7 @@ use ds2_core::snapshot::MetricsSnapshot;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fastforward::{FastForward, FastForwardStats, MAX_FINGERPRINT_SPANS};
 use crate::latency::{EpochTracker, LatencyRecorder};
 use crate::profile::{OperatorProfile, OutputMode, ProfileMap};
 use crate::queue::{EpochQueue, Span};
@@ -113,6 +119,20 @@ pub struct EngineConfig {
     pub epoch_ns: u64,
     /// Initial worker count in Timely mode.
     pub timely_workers: usize,
+    /// Macro-tick fast-forward: when the engine can prove the dataflow
+    /// reached a steady state (see [`crate::fastforward`]), it replays the
+    /// confirmed per-tick transition instead of re-executing identical
+    /// ticks. Results are bitwise identical to exact execution; disable
+    /// (the `--exact` escape hatch) to force tick-by-tick execution.
+    pub fast_forward: bool,
+    /// Per-record latency and epoch tracking. When disabled, queues run
+    /// *untagged* (one merged span, no emission times): the fluid dynamics
+    /// — drains, spaces, backpressure, rates, every policy observable —
+    /// are unchanged, but [`FluidEngine::latency`] and
+    /// [`FluidEngine::epochs`] stay empty. The scenario matrix disables
+    /// this (its report never reads latency), which removes the span
+    /// bookkeeping from the hot path.
+    pub track_record_latency: bool,
 }
 
 impl Default for EngineConfig {
@@ -130,30 +150,65 @@ impl Default for EngineConfig {
             instrumentation: InstrumentationConfig::default(),
             epoch_ns: 1_000_000_000,
             timely_workers: 1,
+            fast_forward: true,
+            track_record_latency: true,
         }
     }
 }
 
 /// Per-instance accumulation between snapshots (virtual-time counters).
-#[derive(Debug, Clone, Copy, Default)]
-struct InstanceAcc {
-    records_in: f64,
-    records_out: f64,
-    useful_ns: f64,
-    wait_input_ns: f64,
-    wait_output_ns: f64,
+/// Also the unit of fast-forward delta capture: a probe tick runs with the
+/// accumulators zeroed, so the values left behind are exactly the tick's
+/// addends (see [`crate::fastforward`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct InstanceAcc {
+    pub(crate) records_in: f64,
+    pub(crate) records_out: f64,
+    pub(crate) useful_ns: f64,
+    pub(crate) wait_input_ns: f64,
+    pub(crate) wait_output_ns: f64,
+}
+
+/// One *class* of identical partitions.
+///
+/// Partitions of an operator that carry the same input share are bitwise
+/// clones of each other for the whole simulation: they start empty, every
+/// push hands each of them `records × share`, and every drain takes
+/// `min(len, capacity)` of identical lengths — so by induction their queue
+/// states never diverge. The engine therefore simulates **one
+/// representative partition per distinct share** and scales the aggregates
+/// by `count`. Uniform operators collapse to a single class; a hot-key
+/// operator to two (the hot instance and the cold rest) — which is what
+/// turns the former `O(parallelism)` tick cost into `O(1)` per operator.
+#[derive(Debug)]
+struct PartitionClass {
+    /// The representative partition's input queue.
+    queue: EpochQueue,
+    /// Input share of *each* partition in the class.
+    share: f64,
+    /// How many identical partitions this class represents.
+    count: usize,
+}
+
+/// One class of identical instances: the representative's accumulator plus
+/// the instance count it stands for. Snapshot collection expands it back
+/// into `count` identical per-instance rows.
+#[derive(Debug, Clone, Copy)]
+struct AccClass {
+    acc: InstanceAcc,
+    count: usize,
 }
 
 /// Per-operator runtime state.
 #[derive(Debug)]
 struct OpState {
-    /// Partitioned input queues: one per instance (Flink/Heron), exactly one
-    /// shared queue in Timely mode, none for sources.
-    queues: Vec<EpochQueue>,
-    /// Input share per queue (sums to 1); parallel to `queues`.
-    shares: Vec<f64>,
-    /// Per-instance accumulators since the last snapshot.
-    acc: Vec<InstanceAcc>,
+    /// Partition classes (Flink/Heron: instance partitions grouped by
+    /// share; Timely: one class for the shared queue; sources: none).
+    classes: Vec<PartitionClass>,
+    /// Instance-accumulator classes. For Flink/Heron non-sources these are
+    /// parallel to `classes` (instance k owns partition k); sources and
+    /// Timely workers collapse to a single class.
+    accs: Vec<AccClass>,
     /// Buffered output of a windowed operator awaiting the next firing.
     window_pending: f64,
     /// Oldest source tag among buffered window output.
@@ -163,27 +218,37 @@ struct OpState {
 }
 
 impl OpState {
+    /// Total queued records across all partitions.
     fn queued(&self) -> f64 {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.classes
+            .iter()
+            .map(|c| c.queue.len() * c.count as f64)
+            .sum()
+    }
+
+    /// Total reporting instances.
+    fn instances(&self) -> usize {
+        self.accs.iter().map(|a| a.count).sum()
     }
 
     /// Maximum total emission the partitioned queues accept: the first full
     /// partition stalls the sender.
     fn accept_limit(&self) -> f64 {
         let mut limit = f64::INFINITY;
-        for (q, &w) in self.queues.iter().zip(&self.shares) {
-            if w > 0.0 {
-                limit = limit.min(q.space() / w);
+        for c in &self.classes {
+            if c.share > 0.0 {
+                limit = limit.min(c.queue.space() / c.share);
             }
         }
         limit
     }
 
-    /// Pushes `records` (tagged `tag`) split across partitions by share.
+    /// Pushes `records` (tagged `tag`) split across partitions by share:
+    /// one representative push per class.
     fn push_partitioned(&mut self, tag: u64, records: f64) {
-        for (q, &w) in self.queues.iter_mut().zip(&self.shares) {
-            if w > 0.0 {
-                q.push(tag, records * w);
+        for c in &mut self.classes {
+            if c.share > 0.0 {
+                c.queue.push(tag, records * c.share);
             }
         }
     }
@@ -289,6 +354,20 @@ pub struct FluidEngine {
     eligible_scratch: Vec<f64>,
     /// Timely water-filling scratch: per-operator noise factors.
     noise_scratch: Vec<f64>,
+    /// Macro-tick fast-forward state machine (probe/replay bookkeeping).
+    ff: FastForward,
+    /// Tag shift accumulated by replayed ticks and not yet applied to the
+    /// queued spans; materialized lazily before the next full tick.
+    pending_tag_shift: u64,
+    /// Epoch frontier computed by the most recent full tick.
+    last_frontier: Option<u64>,
+    /// Whether any operator uses windowed output (window firings are tied
+    /// to absolute time, so such graphs never fast-forward).
+    has_windowed: bool,
+    /// Cached Timely-mode deployment view (every operator at the worker
+    /// pool size), rebuilt when the pool rescales, so
+    /// [`FluidEngine::deployment`] can lend it without allocating.
+    timely_deployment: Deployment,
 }
 
 impl FluidEngine {
@@ -349,6 +428,7 @@ impl FluidEngine {
         let timely_workers = cfg.timely_workers.max(1);
         let epoch_ns = cfg.epoch_ns;
         let seed = cfg.seed;
+        let has_windowed = window_periods.iter().any(|w| w.is_some());
         let mut engine = Self {
             graph,
             profiles,
@@ -376,10 +456,25 @@ impl FluidEngine {
             span_scratch: Vec::new(),
             eligible_scratch: vec![0.0; m],
             noise_scratch: vec![0.0; m],
+            ff: FastForward::default(),
+            pending_tag_shift: 0,
+            last_frontier: None,
+            has_windowed,
+            timely_deployment: Deployment::with_len(m),
         };
         engine.init_states();
         engine.rebuild_cost_cache();
+        engine.rebuild_timely_deployment();
         engine
+    }
+
+    /// Rebuilds the cached Timely-mode deployment view (every operator at
+    /// the current worker-pool size).
+    fn rebuild_timely_deployment(&mut self) {
+        self.timely_deployment.reset(self.graph.len());
+        for op in self.graph.operators() {
+            self.timely_deployment.set(op, self.timely_workers);
+        }
     }
 
     /// Recomputes the per-record cost of every non-source operator at the
@@ -438,20 +533,52 @@ impl FluidEngine {
     }
 
     fn make_op_state(&self, op: OperatorId) -> OpState {
-        let (queues, shares) = if self.graph.is_source(op) {
-            (Vec::new(), Vec::new())
+        let classes = if self.graph.is_source(op) {
+            Vec::new()
         } else {
-            let n = self.partitions_of(op);
             let cap = self.per_partition_capacity();
-            (
-                (0..n).map(|_| EpochQueue::new(cap)).collect(),
-                self.partition_shares(op),
-            )
+            let mut classes: Vec<PartitionClass> = Vec::new();
+            // Group consecutive partitions with bitwise-equal shares into
+            // one class (uniform weights: one class; hot-key weights: the
+            // hot instance plus one class for the cold rest).
+            for share in self.partition_shares(op) {
+                match classes.last_mut() {
+                    Some(c) if c.share.to_bits() == share.to_bits() => c.count += 1,
+                    _ => classes.push(PartitionClass {
+                        queue: if self.cfg.track_record_latency {
+                            EpochQueue::new(cap)
+                        } else {
+                            EpochQueue::new_untagged(cap)
+                        },
+                        share,
+                        count: 1,
+                    }),
+                }
+            }
+            classes
+        };
+        let instances = self.instances_of(op);
+        let accs = if self.graph.is_source(op) || self.cfg.mode == EngineMode::Timely {
+            // Source instances (and Timely workers) all do identical work:
+            // one accumulator class covers them.
+            vec![AccClass {
+                acc: InstanceAcc::default(),
+                count: instances,
+            }]
+        } else {
+            // Flink/Heron: instance k owns partition k, so accumulator
+            // classes mirror the partition classes.
+            classes
+                .iter()
+                .map(|c| AccClass {
+                    acc: InstanceAcc::default(),
+                    count: c.count,
+                })
+                .collect()
         };
         OpState {
-            queues,
-            shares,
-            acc: vec![InstanceAcc::default(); self.instances_of(op)],
+            classes,
+            accs,
             window_pending: 0.0,
             window_pending_oldest: None,
             next_fire_ns: self.window_period(op).map_or(u64::MAX, |p| self.now_ns + p),
@@ -485,19 +612,23 @@ impl FluidEngine {
         &self.graph
     }
 
-    /// The current deployment. In Timely mode every operator's parallelism
-    /// reads as the worker-pool size (each worker runs every operator).
-    pub fn current_deployment(&self) -> Deployment {
+    /// Borrowing view of the current deployment — the allocation-free
+    /// counterpart of [`FluidEngine::current_deployment`] for hot loops
+    /// (the closed-loop harness reads the deployment every policy interval
+    /// and every timeline sample). In Timely mode this lends a cached
+    /// deployment where every operator's parallelism is the worker-pool
+    /// size (each worker runs every operator).
+    pub fn deployment(&self) -> &Deployment {
         match self.cfg.mode {
-            EngineMode::Timely => {
-                let mut d = Deployment::with_len(self.graph.len());
-                for op in self.graph.operators() {
-                    d.set(op, self.timely_workers);
-                }
-                d
-            }
-            _ => self.deployment.clone(),
+            EngineMode::Timely => &self.timely_deployment,
+            _ => &self.deployment,
         }
+    }
+
+    /// The current deployment, cloned. In Timely mode every operator's
+    /// parallelism reads as the worker-pool size.
+    pub fn current_deployment(&self) -> Deployment {
+        self.deployment().clone()
     }
 
     /// Current Timely worker count.
@@ -539,12 +670,14 @@ impl FluidEngine {
     /// configured redeployment latency, during which the job is down.
     pub fn request_rescale(&mut self, plan: Deployment) {
         plan.validate(&self.graph).expect("invalid rescale plan");
+        self.ff.invalidate();
         let workers = self.timely_workers;
         self.pending_rescale = Some((self.now_ns + self.cfg.reconfig_latency_ns, plan, workers));
     }
 
     /// Requests a Timely worker-pool rescale.
     pub fn request_worker_rescale(&mut self, workers: usize) {
+        self.ff.invalidate();
         let plan = self.deployment.clone();
         self.pending_rescale = Some((
             self.now_ns + self.cfg.reconfig_latency_ns,
@@ -570,8 +703,329 @@ impl FluidEngine {
         (1.0 + self.cfg.service_noise * g).clamp(0.25, 4.0)
     }
 
-    /// Advances the simulation by one tick.
+    /// Advances the simulation by one tick, always executing it in full.
+    ///
+    /// Drops any fast-forward state first: external tick-by-tick driving is
+    /// the exact reference semantics. Harness loops that want macro-tick
+    /// fast-forward call [`FluidEngine::tick_within`] instead.
     pub fn tick(&mut self) -> TickEvents {
+        self.ff.invalidate();
+        self.full_tick()
+    }
+
+    /// Advances the simulation by one tick, replaying a confirmed
+    /// steady-state transition when possible.
+    ///
+    /// `horizon_ns` is the caller's *event horizon*: a promise that no
+    /// external interaction (metrics-window close acted upon, rescale
+    /// request, workload reconfiguration) happens for ticks ending at or
+    /// before it. The engine derives the hard correctness boundaries —
+    /// source phase changes, pending redeployments, windowed firings —
+    /// itself; the horizon only stops it from spending probe work right
+    /// before the caller is going to perturb the dataflow anyway.
+    ///
+    /// The outcome is bitwise identical to calling [`FluidEngine::tick`]
+    /// in a loop: a replayed tick performs the same accumulator additions,
+    /// latency samples and epoch advances the full tick would, and any
+    /// state the engine cannot prove steady keeps executing in full. See
+    /// [`crate::fastforward`] for the proof obligations.
+    pub fn tick_within(&mut self, horizon_ns: u64) -> TickEvents {
+        if self.cfg.fast_forward && self.ff.can_replay(self.now_ns) {
+            return self.replay_tick();
+        }
+        if self.ff.is_armed() {
+            // Armed but unable to replay: the transition's phase ended.
+            self.ff.invalidate();
+        }
+        if self.probe_eligible(horizon_ns) && self.ff.should_probe() {
+            self.probe_tick()
+        } else {
+            self.full_tick()
+        }
+    }
+
+    /// Cumulative fast-forward work counters (probes, replayed ticks).
+    pub fn fastforward_stats(&self) -> FastForwardStats {
+        self.ff.stats
+    }
+
+    /// `true` while the engine holds a confirmed steady-state transition it
+    /// can replay.
+    pub fn fastforward_active(&self) -> bool {
+        self.ff.is_armed()
+    }
+
+    /// Whether a probe is worth attempting at all this tick.
+    fn probe_eligible(&self, horizon_ns: u64) -> bool {
+        self.cfg.fast_forward
+            && !self.has_windowed
+            && self.cfg.mode != EngineMode::Timely
+            && self.cfg.service_noise <= 0.0
+            && self.pending_rescale.is_none()
+            // The probe tick plus at least one replayed tick must fit
+            // before the caller's next interaction...
+            && self.now_ns + 2 * self.cfg.tick_ns <= horizon_ns
+            // ...and before the next source phase boundary (a rate change
+            // inside or right after the probe tick would make the captured
+            // transition unsound).
+            && self
+                .next_phase_change()
+                .is_none_or(|c| self.now_ns + 2 * self.cfg.tick_ns <= c)
+    }
+
+    /// The earliest source-schedule rate change strictly after `now`.
+    fn next_phase_change(&self) -> Option<u64> {
+        self.sources
+            .iter()
+            .filter_map(|(_, spec)| spec.schedule.next_change_after(self.now_ns))
+            .min()
+    }
+
+    /// Applies the deferred tag shift accumulated by replayed ticks.
+    fn materialize_tag_shift(&mut self) {
+        if self.pending_tag_shift == 0 {
+            return;
+        }
+        let shift = self.pending_tag_shift;
+        self.pending_tag_shift = 0;
+        for st in &mut self.states {
+            for c in &mut st.classes {
+                c.queue.shift_tags(shift);
+            }
+            if let Some(oldest) = st.window_pending_oldest.as_mut() {
+                *oldest += shift;
+            }
+        }
+    }
+
+    /// Copies the structural fluid state into the fingerprint buffer.
+    /// Returns `false` (probe abandoned) when the total span count exceeds
+    /// the fingerprint budget.
+    ///
+    /// Untagged engines skip the span lists entirely: tags then have no
+    /// observable effect (no latency, no epochs), so the `(count, total)`
+    /// pair fully determines a queue's future behaviour.
+    fn capture_fingerprint(&mut self) -> bool {
+        let track = self.cfg.track_record_latency;
+        let fp = &mut self.ff.fingerprint;
+        fp.clear();
+        fp.heron_backpressure = self.heron_backpressure;
+        for (i, st) in self.states.iter().enumerate() {
+            fp.backlog.push(self.backlog[i]);
+            fp.window_pending.push(st.window_pending);
+            for c in &st.classes {
+                let q = &c.queue;
+                fp.queues.push((q.span_count() as u32, q.len()));
+                if track {
+                    if fp.spans.len() + q.span_count() > MAX_FINGERPRINT_SPANS {
+                        return false;
+                    }
+                    fp.spans.extend(q.spans().copied());
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the current state equals the fingerprint with every span tag
+    /// advanced by exactly one tick — the fixed-point ("shift step") test.
+    /// All float comparisons are bitwise: fast-forward replays only what it
+    /// can prove exactly. Untagged engines compare totals only (their tags
+    /// are unobservable).
+    fn state_is_shifted(&self) -> bool {
+        let track = self.cfg.track_record_latency;
+        let fp = &self.ff.fingerprint;
+        let tick_ns = self.cfg.tick_ns;
+        if fp.heron_backpressure != self.heron_backpressure {
+            return false;
+        }
+        let mut qi = 0usize;
+        let mut si = 0usize;
+        for (i, st) in self.states.iter().enumerate() {
+            if fp.backlog[i].to_bits() != self.backlog[i].to_bits()
+                || fp.window_pending[i].to_bits() != st.window_pending.to_bits()
+            {
+                return false;
+            }
+            for c in &st.classes {
+                let q = &c.queue;
+                let (count, total) = fp.queues[qi];
+                qi += 1;
+                if q.span_count() != count as usize || total.to_bits() != q.len().to_bits() {
+                    return false;
+                }
+                if track {
+                    for span in q.spans() {
+                        let prev = fp.spans[si];
+                        si += 1;
+                        if span.records.to_bits() != prev.records.to_bits()
+                            || span.emitted_ns != prev.emitted_ns + tick_ns
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// A full tick run with delta capture: accumulators start from zero so
+    /// the values they end with are exactly this tick's addends, then get
+    /// restored as `saved + addend` — the identical float operation an
+    /// unprobed tick performs. If the post-state is a shift of the
+    /// pre-state, the transition is armed for replay.
+    fn probe_tick(&mut self) -> TickEvents {
+        self.materialize_tag_shift();
+        self.ff.stats.probes += 1;
+        self.ff.stats.full_ticks += 1;
+        if !self.capture_fingerprint() {
+            self.ff.probe_failed();
+            return self.tick_core();
+        }
+        let phase_end = self.next_phase_change();
+
+        let mut saved = std::mem::take(&mut self.ff.saved);
+        saved.clear();
+        for st in &mut self.states {
+            for class in &mut st.accs {
+                saved.push(std::mem::take(&mut class.acc));
+            }
+        }
+        let latency_mark = self.latency.len();
+
+        let events = self.tick_core();
+
+        let mut deltas = std::mem::take(&mut self.ff.deltas);
+        deltas.clear();
+        let mut saved_it = saved.iter();
+        for st in &mut self.states {
+            for class in &mut st.accs {
+                let acc = &mut class.acc;
+                let d = *acc;
+                let s = saved_it.next().expect("class count stable within a tick");
+                // Restore `saved + addend`, the identical float operation
+                // the unprobed tick would have performed in place.
+                acc.records_in = s.records_in + d.records_in;
+                acc.records_out = s.records_out + d.records_out;
+                acc.useful_ns = s.useful_ns + d.useful_ns;
+                acc.wait_input_ns = s.wait_input_ns + d.wait_input_ns;
+                acc.wait_output_ns = s.wait_output_ns + d.wait_output_ns;
+                deltas.push(d);
+            }
+        }
+        self.ff.saved = saved;
+        self.ff.deltas = deltas;
+
+        if self.state_is_shifted() {
+            let samples = self.latency.samples();
+            self.ff.latency.clear();
+            self.ff.latency.extend_from_slice(&samples[latency_mark..]);
+            self.ff.frontier_offset = self.last_frontier.map(|f| self.now_ns - f);
+            self.ff.arm(phase_end.unwrap_or(u64::MAX));
+        } else {
+            self.ff.probe_failed();
+        }
+        events
+    }
+
+    /// Replays as many confirmed steady ticks as fit before `horizon_ns`,
+    /// returning how many were replayed (zero when no transition is armed
+    /// or fast-forward is disabled). The engine-side effects are bitwise
+    /// identical to calling [`FluidEngine::tick`] that many times; callers
+    /// with per-tick aggregation of their own (the closed-loop harness sums
+    /// each tick's offered/emitted counts into timeline buckets) replicate
+    /// it for the returned count — the per-tick values are constants, read
+    /// once from [`FluidEngine::last_tick`].
+    pub fn replay_steady(&mut self, horizon_ns: u64) -> u64 {
+        if !self.cfg.fast_forward {
+            return 0;
+        }
+        let ticks = self
+            .ff
+            .replayable_ticks(self.now_ns, self.cfg.tick_ns, horizon_ns);
+        if ticks > 0 {
+            self.replay_batch(ticks);
+        }
+        ticks
+    }
+
+    /// Replays the confirmed steady-state transition for `ticks` ticks: the
+    /// accumulator additions, sink latency samples and epoch advances the
+    /// full ticks would perform — and nothing else. Span tags shift lazily
+    /// via `pending_tag_shift`. Accumulator sums are built by repeated
+    /// addition of the captured addends — the exact float operations of
+    /// tick-by-tick execution, not a multiplied approximation — with the
+    /// five per-instance fields interleaved so the dependency chains
+    /// pipeline.
+    fn replay_batch(&mut self, ticks: u64) {
+        let tick_ns = self.cfg.tick_ns;
+
+        let mut di = 0usize;
+        for st in &mut self.states {
+            for class in &mut st.accs {
+                let acc = &mut class.acc;
+                let d = self.ff.deltas[di];
+                di += 1;
+                // `x += 0.0` is the identity on these non-negative sums,
+                // so wholly idle classes are skipped without changing
+                // the result (and zero addends inside the loop are cheap
+                // pipelined adds, not worth branching over).
+                if d == InstanceAcc::default() {
+                    continue;
+                }
+                for _ in 0..ticks {
+                    acc.records_in += d.records_in;
+                    acc.records_out += d.records_out;
+                    acc.useful_ns += d.useful_ns;
+                    acc.wait_input_ns += d.wait_input_ns;
+                    acc.wait_output_ns += d.wait_output_ns;
+                }
+            }
+        }
+        if self.cfg.track_record_latency {
+            if !self.ff.latency.is_empty() {
+                for _ in 0..ticks {
+                    for i in 0..self.ff.latency.len() {
+                        let (latency_ns, weight) = self.ff.latency[i];
+                        self.latency.record(latency_ns, weight);
+                    }
+                }
+            }
+            match self.ff.frontier_offset {
+                Some(offset) => {
+                    for i in 1..=ticks {
+                        let now = self.now_ns + i * tick_ns;
+                        self.epochs.advance(now, Some(now - offset));
+                    }
+                }
+                None => {
+                    for i in 1..=ticks {
+                        self.epochs.advance(self.now_ns + i * tick_ns, None);
+                    }
+                }
+            }
+            self.pending_tag_shift += ticks * tick_ns;
+        }
+        self.now_ns += ticks * tick_ns;
+        self.ff.stats.replayed_ticks += ticks;
+    }
+
+    /// Single-tick replay (the [`FluidEngine::tick_within`] path).
+    fn replay_tick(&mut self) -> TickEvents {
+        self.replay_batch(1);
+        TickEvents::default()
+    }
+
+    /// A fully executed tick (tag shift materialized first).
+    fn full_tick(&mut self) -> TickEvents {
+        self.materialize_tag_shift();
+        self.ff.stats.full_ticks += 1;
+        self.tick_core()
+    }
+
+    /// The tick body: one full simulation step.
+    fn tick_core(&mut self) -> TickEvents {
         let mut events = TickEvents::default();
         let tick_ns = self.cfg.tick_ns;
         let tick_end = self.now_ns + tick_ns;
@@ -595,6 +1049,7 @@ impl FluidEngine {
             self.halted_tick(&mut stats, tick_ns);
             self.deployment = plan;
             self.timely_workers = workers;
+            self.rebuild_timely_deployment();
             self.apply_new_partitioning();
             self.heron_backpressure = false;
             events.deployed = Some(self.current_deployment());
@@ -615,8 +1070,8 @@ impl FluidEngine {
             let max_fill = self
                 .states
                 .iter()
-                .flat_map(|s| s.queues.iter())
-                .map(|q| q.fill_fraction())
+                .flat_map(|s| s.classes.iter())
+                .map(|c| c.queue.fill_fraction())
                 .fold(0.0f64, f64::max);
             if self.heron_backpressure {
                 if max_fill < self.cfg.heron_low_watermark {
@@ -631,19 +1086,23 @@ impl FluidEngine {
         self.now_ns = tick_end;
 
         // Epoch tracking: the frontier is the oldest source tag still queued
-        // or buffered anywhere.
-        let mut frontier: Option<u64> = None;
-        for st in &self.states {
-            let candidates = st
-                .queues
-                .iter()
-                .filter_map(|q| q.oldest_ns())
-                .chain(st.window_pending_oldest);
-            for c in candidates {
-                frontier = Some(frontier.map_or(c, |f: u64| f.min(c)));
+        // or buffered anywhere. Untagged engines have no meaningful tags,
+        // so they skip epoch accounting entirely (replay does the same).
+        if self.cfg.track_record_latency {
+            let mut frontier: Option<u64> = None;
+            for st in &self.states {
+                let candidates = st
+                    .classes
+                    .iter()
+                    .filter_map(|c| c.queue.oldest_ns())
+                    .chain(st.window_pending_oldest);
+                for c in candidates {
+                    frontier = Some(frontier.map_or(c, |f: u64| f.min(c)));
+                }
             }
+            self.last_frontier = frontier;
+            self.epochs.advance(self.now_ns, frontier);
         }
-        self.epochs.advance(self.now_ns, frontier);
 
         self.last_tick = stats;
         events
@@ -654,11 +1113,19 @@ impl FluidEngine {
         for op in self.graph.operators() {
             let new_state = self.make_op_state(op);
             let old = std::mem::replace(&mut self.states[op.index()], new_state);
-            // Collect old spans (merge partitions, oldest first) and
-            // repartition them into the new queues.
+            // Collect old spans (each class's representative queue scaled
+            // by its partition count, oldest first) and repartition them
+            // into the new classes.
             let mut spans: Vec<Span> = Vec::new();
-            for mut q in old.queues {
-                q.pop_into(f64::INFINITY, &mut spans);
+            for mut class in old.classes {
+                let from = spans.len();
+                class.queue.pop_into(f64::INFINITY, &mut spans);
+                if class.count > 1 {
+                    let mult = class.count as f64;
+                    for s in &mut spans[from..] {
+                        s.records *= mult;
+                    }
+                }
             }
             spans.sort_by_key(|s| s.emitted_ns);
             let st = &mut self.states[op.index()];
@@ -686,8 +1153,8 @@ impl FluidEngine {
             }
         }
         for st in &mut self.states {
-            for acc in &mut st.acc {
-                acc.wait_input_ns += tick_ns as f64;
+            for class in &mut st.accs {
+                class.acc.wait_input_ns += tick_ns as f64;
             }
         }
     }
@@ -777,9 +1244,9 @@ impl FluidEngine {
             for i in 0..self.non_source_topo.len() {
                 let op = self.non_source_topo[i];
                 let st = &mut self.states[op.index()];
-                let per_inst = budget / n_ops / st.acc.len().max(1) as f64;
-                for acc in &mut st.acc {
-                    acc.wait_input_ns += per_inst;
+                let per_inst = budget / n_ops / st.instances().max(1) as f64;
+                for class in &mut st.accs {
+                    class.acc.wait_input_ns += per_inst;
                 }
             }
         }
@@ -862,7 +1329,7 @@ impl FluidEngine {
 
         // Source instance counters: emission is useful output work.
         let st = &mut self.states[op.index()];
-        let n_inst = st.acc.len().max(1) as f64;
+        let n_inst = st.instances().max(1) as f64;
         let busy_per_inst = if generation_cost_ns > 0.0 {
             (emit / n_inst) * generation_cost_ns
         } else {
@@ -875,10 +1342,10 @@ impl FluidEngine {
             };
             frac * tick_ns * 0.5
         };
-        for acc in &mut st.acc {
-            acc.records_out += emit / n_inst;
-            acc.useful_ns += busy_per_inst.min(tick_ns);
-            acc.wait_output_ns += (tick_ns - busy_per_inst).max(0.0);
+        for class in &mut st.accs {
+            class.acc.records_out += emit / n_inst;
+            class.acc.useful_ns += busy_per_inst.min(tick_ns);
+            class.acc.wait_output_ns += (tick_ns - busy_per_inst).max(0.0);
         }
     }
 
@@ -909,11 +1376,21 @@ impl FluidEngine {
         let cap_inst = tick_ns as f64 / real_cost;
         let output = self.output_modes[i].expect("non-source operators have profiles");
 
-        // Per-instance desired drains from their own partitions.
+        // Per-instance desired drains from their own partitions, one entry
+        // per partition class; the total scales each class by its count.
         let mut takes = std::mem::take(&mut self.takes_scratch);
         takes.clear();
-        takes.extend(self.states[i].queues.iter().map(|q| q.len().min(cap_inst)));
-        let want_total: f64 = takes.iter().sum();
+        takes.extend(
+            self.states[i]
+                .classes
+                .iter()
+                .map(|c| c.queue.len().min(cap_inst)),
+        );
+        let want_total: f64 = takes
+            .iter()
+            .zip(&self.states[i].classes)
+            .map(|(t, c)| t * c.count as f64)
+            .sum();
 
         // Output-space constraint (windowed operators buffer internally, so
         // only their flush is space-limited).
@@ -930,8 +1407,9 @@ impl FluidEngine {
             }
         }
 
-        // Drain each partition and route the output.
-        let is_sink = self.graph.is_sink(op);
+        // Drain each partition and route the output. Sink latency is the
+        // only consumer of `is_sink` here; untracked runs skip it.
+        let is_sink = self.graph.is_sink(op) && self.cfg.track_record_latency;
         let tick_end = self.now_ns + self.cfg.tick_ns;
 
         let mut out_total = 0.0f64;
@@ -945,7 +1423,17 @@ impl FluidEngine {
                 if *take <= 0.0 {
                     continue;
                 }
-                st.queues[k].pop_into(*take, &mut drained);
+                let class = &mut st.classes[k];
+                let from = drained.len();
+                class.queue.pop_into(*take, &mut drained);
+                // The representative queue drained one partition's worth;
+                // routing and latency work on class totals.
+                if class.count > 1 {
+                    let mult = class.count as f64;
+                    for s in &mut drained[from..] {
+                        s.records *= mult;
+                    }
+                }
             }
         }
         // Coalesce same-tag spans before routing. The p partitions drain
@@ -994,19 +1482,22 @@ impl FluidEngine {
             }
         }
 
-        // Instance accounting: instance k processed takes[k].
+        // Instance accounting: every instance of class k processed
+        // takes[k] (the per-partition drain).
         {
             let st = &mut self.states[i];
-            let n_out_share = if st.acc.is_empty() {
+            let n_inst = st.instances();
+            let n_out_share = if n_inst == 0 {
                 0.0
             } else {
-                out_total / st.acc.len() as f64
+                out_total / n_inst as f64
             };
-            for (k, acc) in st.acc.iter_mut().enumerate() {
+            for (k, class) in st.accs.iter_mut().enumerate() {
                 let share = takes.get(k).copied().unwrap_or(0.0);
                 let busy = (share * instr_cost).min(tick_ns as f64);
                 let hidden = share * (real_cost - instr_cost);
                 let wait = (tick_ns as f64 - busy - hidden).max(0.0);
+                let acc = &mut class.acc;
                 acc.records_in += share;
                 acc.records_out += n_out_share;
                 acc.useful_ns += busy;
@@ -1037,8 +1528,8 @@ impl FluidEngine {
         let output = self.output_modes[i].expect("non-source operators have profiles");
         let mut spans = std::mem::take(&mut self.span_scratch);
         spans.clear();
-        if let Some(q) = self.states[i].queues.first_mut() {
-            q.pop_into(n, &mut spans);
+        if let Some(class) = self.states[i].classes.first_mut() {
+            class.queue.pop_into(n, &mut spans);
         }
 
         // Busy time spread over worker-instances; only the instrumented
@@ -1049,15 +1540,15 @@ impl FluidEngine {
         };
         {
             let st = &mut self.states[i];
-            let w = st.acc.len().max(1) as f64;
+            let w = st.instances().max(1) as f64;
             let drained: f64 = spans.iter().map(|s| s.records).sum();
-            for acc in &mut st.acc {
-                acc.records_in += drained / w;
-                acc.useful_ns += used_ns * instr_fraction / w;
+            for class in &mut st.accs {
+                class.acc.records_in += drained / w;
+                class.acc.useful_ns += used_ns * instr_fraction / w;
             }
         }
 
-        let is_sink = self.graph.is_sink(op);
+        let is_sink = self.graph.is_sink(op) && self.cfg.track_record_latency;
         let tick_end = self.now_ns + self.cfg.tick_ns;
 
         match output {
@@ -1077,9 +1568,9 @@ impl FluidEngine {
                     }
                 }
                 let st = &mut self.states[i];
-                let w = st.acc.len().max(1) as f64;
-                for acc in &mut st.acc {
-                    acc.records_out += out_total / w;
+                let w = st.instances().max(1) as f64;
+                for class in &mut st.accs {
+                    class.acc.records_out += out_total / w;
                 }
             }
             OutputMode::Windowed { selectivity, .. } => {
@@ -1125,12 +1616,14 @@ impl FluidEngine {
             return;
         }
         let tag = oldest.unwrap_or(self.now_ns);
-        let n_inst = self.states[i].acc.len().max(1) as f64;
+        let n_inst = self.states[i].instances().max(1) as f64;
         if self.graph.is_sink(op) {
-            self.latency.record(tick_end.saturating_sub(tag), pending);
+            if self.cfg.track_record_latency {
+                self.latency.record(tick_end.saturating_sub(tag), pending);
+            }
             let st = &mut self.states[i];
-            for acc in &mut st.acc {
-                acc.records_out += pending / n_inst;
+            for class in &mut st.accs {
+                class.acc.records_out += pending / n_inst;
             }
             return;
         }
@@ -1158,8 +1651,8 @@ impl FluidEngine {
         let emitted = pending - spilled;
         if emitted > 0.0 {
             let st = &mut self.states[i];
-            for acc in &mut st.acc {
-                acc.records_out += emitted / n_inst;
+            for class in &mut st.accs {
+                class.acc.records_out += emitted / n_inst;
             }
         }
     }
@@ -1190,7 +1683,8 @@ impl FluidEngine {
             let is_source = self.graph.is_source(op);
             let st = &mut self.states[i];
             let metrics = snap.operator_slot(op);
-            for acc in &st.acc {
+            for class in &st.accs {
+                let acc = &class.acc;
                 let dominant = if is_source {
                     acc.records_out
                 } else {
@@ -1212,17 +1706,22 @@ impl FluidEngine {
                 let wait_input_ns = (acc.wait_input_ns.round() as u64).min(window_ns - useful_ns);
                 let wait_output_ns =
                     (acc.wait_output_ns.round() as u64).min(window_ns - useful_ns - wait_input_ns);
-                metrics.instances.push(InstanceMetrics {
+                let row = InstanceMetrics {
                     records_in: (acc.records_in * factor).round() as u64,
                     records_out: (acc.records_out * factor).round() as u64,
                     useful_ns,
                     window_ns,
                     wait_input_ns,
                     wait_output_ns,
-                });
+                };
+                // Every instance of the class did identical work: emit the
+                // row once per represented instance.
+                for _ in 0..class.count {
+                    metrics.instances.push(row);
+                }
             }
-            for acc in &mut st.acc {
-                *acc = InstanceAcc::default();
+            for class in &mut st.accs {
+                class.acc = InstanceAcc::default();
             }
         }
         for (op, spec) in self.sources.iter() {
@@ -1695,6 +2194,142 @@ mod tests {
         // Throughput is 500/s but instrumentation-measured capacity ~1000/s.
         assert!((obs - 500.0).abs() < 50.0, "observed {obs}");
         assert!((true_rate - 1_000.0).abs() < 100.0, "true {true_rate}");
+    }
+
+    /// Drives `a` with plain exact ticks and `b` through the fast-forward
+    /// path, asserting every observable stays bitwise identical.
+    fn assert_engines_agree(a: &mut FluidEngine, b: &mut FluidEngine, ids: &[OperatorId]) {
+        assert_eq!(a.now_ns(), b.now_ns());
+        for &op in ids {
+            assert_eq!(
+                a.queue_len(op).to_bits(),
+                b.queue_len(op).to_bits(),
+                "queue {op} diverged"
+            );
+            assert_eq!(a.backlog(op).to_bits(), b.backlog(op).to_bits());
+        }
+        assert_eq!(a.latency().samples().len(), b.latency().samples().len());
+        assert_eq!(a.latency(), b.latency());
+        assert_eq!(a.epochs().completed(), b.epochs().completed());
+        let sa = a.collect_snapshot();
+        let sb = b.collect_snapshot();
+        assert_eq!(sa, sb, "snapshots diverged");
+    }
+
+    #[test]
+    fn fastforward_matches_exact_on_steady_chain() {
+        let mk = || {
+            engine_with(
+                &[(2_000.0, 1.3), (4_000.0, 1.0)],
+                1_000.0,
+                &[1, 1, 1],
+                EngineConfig::default(),
+            )
+        };
+        let (mut exact, ids) = mk();
+        let (mut fast, _) = mk();
+        for _ in 0..4_000 {
+            exact.tick();
+            fast.tick_within(u64::MAX);
+        }
+        let stats = fast.fastforward_stats();
+        assert!(
+            stats.replayed_ticks > 3_000,
+            "steady chain should mostly replay: {stats:?}"
+        );
+        assert_engines_agree(&mut exact, &mut fast, &ids);
+    }
+
+    /// A rescale requested mid-interval cancels fast-forward immediately,
+    /// and the halt + redeploy + recovery still match exact execution.
+    #[test]
+    fn request_rescale_cancels_fastforward() {
+        let cfg = EngineConfig {
+            reconfig_latency_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        let mk = || engine_with(&[(600.0, 1.0)], 1_000.0, &[1, 2], cfg.clone());
+        let (mut exact, ids) = mk();
+        let (mut fast, _) = mk();
+        for _ in 0..2_000 {
+            exact.tick();
+            fast.tick_within(u64::MAX);
+        }
+        assert!(fast.fastforward_active(), "steady state should be armed");
+        let mut plan = fast.current_deployment();
+        plan.set(ids[1], 4);
+        fast.request_rescale(plan.clone());
+        exact.request_rescale(plan);
+        assert!(
+            !fast.fastforward_active(),
+            "request_rescale must cancel fast-forward"
+        );
+        let mut deployed = false;
+        for _ in 0..2_000 {
+            let ea = exact.tick();
+            let eb = fast.tick_within(u64::MAX);
+            assert_eq!(ea.deployed.is_some(), eb.deployed.is_some());
+            deployed |= eb.deployed.is_some();
+        }
+        assert!(deployed, "redeploy completed");
+        assert_eq!(fast.current_deployment().parallelism(ids[1]), 4);
+        assert_engines_agree(&mut exact, &mut fast, &ids);
+    }
+
+    /// Phase boundaries in the source schedule bound replay validity: the
+    /// engine re-probes in each phase and stays bitwise exact across the
+    /// rate changes.
+    #[test]
+    fn fastforward_respects_phase_boundaries() {
+        let mk = || {
+            let (graph, ids) = chain(&[(3_000.0, 1.0)]);
+            let mut profiles = ProfileMap::new();
+            profiles.insert(ids[1], OperatorProfile::with_capacity(3_000.0, 1.0));
+            let mut sources = BTreeMap::new();
+            sources.insert(
+                ids[0],
+                SourceSpec::constant(0.0).with_schedule(RateSchedule::steps(vec![
+                    (0, 2_000.0),
+                    (10_000_000_000, 500.0),
+                    (20_000_000_000, 2_500.0),
+                ])),
+            );
+            let d = Deployment::uniform(&graph, 1);
+            let cfg = EngineConfig {
+                instrumentation: InstrumentationConfig::disabled(),
+                ..Default::default()
+            };
+            (FluidEngine::new(graph, profiles, sources, d, cfg), ids)
+        };
+        let (mut exact, ids) = mk();
+        let (mut fast, _) = mk();
+        for _ in 0..3_500 {
+            exact.tick();
+            fast.tick_within(u64::MAX);
+        }
+        let stats = fast.fastforward_stats();
+        assert!(
+            stats.replayed_ticks > 2_000,
+            "every constant phase should replay: {stats:?}"
+        );
+        assert!(stats.probes >= 3, "re-probed per phase: {stats:?}");
+        assert_engines_agree(&mut exact, &mut fast, &ids);
+    }
+
+    #[test]
+    fn fastforward_disabled_runs_full_ticks() {
+        let cfg = EngineConfig {
+            fast_forward: false,
+            ..Default::default()
+        };
+        let (mut e, _) = engine_with(&[(2_000.0, 1.0)], 1_000.0, &[1, 1], cfg);
+        for _ in 0..200 {
+            e.tick_within(u64::MAX);
+        }
+        let stats = e.fastforward_stats();
+        assert_eq!(stats.replayed_ticks, 0);
+        assert_eq!(stats.probes, 0);
+        assert_eq!(stats.full_ticks, 200);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Macro-tick fast-forward: steady-state detection and replay bookkeeping
+//! for the [`FluidEngine`](crate::engine::FluidEngine).
+//!
+//! The scenario matrix's workloads are piecewise-constant, so between
+//! workload phases and control decisions the dataflow spends most of its
+//! virtual time in a *steady state* where every tick performs exactly the
+//! same work as the one before. This module holds the machinery that lets
+//! the engine prove that and skip the structural work:
+//!
+//! * **Fixed-point detection.** A tick is a *shift step* when the post-tick
+//!   fluid state equals the pre-tick state with every queued span's
+//!   emission tag advanced by exactly one tick: span counts, record totals,
+//!   durable backlogs, window buffers and the Heron backpressure signal are
+//!   bitwise unchanged, and every tag moved by `tick_ns`. Because the tick
+//!   function is *shift-equivariant* while its external inputs are frozen
+//!   (no pending rescale, no windowed operators, zero service noise, and
+//!   every source schedule inside a constant phase), one confirmed shift
+//!   step proves that **all** subsequent ticks up to the next phase
+//!   boundary repeat the identical float operations.
+//!
+//! * **Exact replay.** A replayed tick therefore performs only the
+//!   operations whose *results* accumulate: the per-instance counter
+//!   additions (with the addends captured from the probe tick — the same
+//!   `acc += addend` the full tick would execute, so the sums are bitwise
+//!   identical to tick-by-tick execution), the sink latency samples, and
+//!   the epoch-frontier advance. All queue drains, span routing, flow
+//!   control and scans are skipped; span tags are shifted lazily in one
+//!   batch when the engine next needs them.
+//!
+//! Skipped ticks are exact *by construction* — the engine never
+//! approximates. Anything it cannot prove (a filling queue, a span list at
+//! its merge bound, an oscillating Heron spout) simply fails the shift
+//! check and keeps executing full ticks, with an exponential probe backoff
+//! bounding the detection overhead.
+
+use crate::engine::InstanceAcc;
+use crate::queue::Span;
+
+/// Counters describing how much work fast-forward saved (and spent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Fully executed ticks (including probe ticks).
+    pub full_ticks: u64,
+    /// Probe attempts (full ticks run with delta capture enabled).
+    pub probes: u64,
+    /// Probes whose post-state was not a shift of the pre-state.
+    pub probe_failures: u64,
+    /// Ticks replayed from a confirmed fixed point.
+    pub replayed_ticks: u64,
+}
+
+/// Compact copy of the engine's structural fluid state, captured before a
+/// probe tick and compared (shifted) against the state after it.
+///
+/// Buffers are recycled across probes; a capture never allocates once the
+/// vectors have grown to the dataflow's size.
+#[derive(Debug, Default)]
+pub(crate) struct Fingerprint {
+    /// `(span_count, total_records)` per queue, in engine walk order.
+    pub(crate) queues: Vec<(u32, f64)>,
+    /// All spans, concatenated in the same walk order.
+    pub(crate) spans: Vec<Span>,
+    /// Durable backlog per operator id.
+    pub(crate) backlog: Vec<f64>,
+    /// Buffered window output per operator id.
+    pub(crate) window_pending: Vec<f64>,
+    /// Heron spout-pausing signal.
+    pub(crate) heron_backpressure: bool,
+}
+
+impl Fingerprint {
+    pub(crate) fn clear(&mut self) {
+        self.queues.clear();
+        self.spans.clear();
+        self.backlog.clear();
+        self.window_pending.clear();
+        self.heron_backpressure = false;
+    }
+}
+
+/// Total-span budget for one fingerprint: a capture walking more spans
+/// than this aborts. Well-provisioned fixed points keep one span per
+/// upstream path; *saturated* fixed points (a permanently backpressured
+/// queue in equilibrium pops exactly one span per tick and appends one) sit
+/// at the queue's 256-span merge bound, so the budget must admit a few
+/// full queues while still bounding the cost of hopeless probes.
+pub(crate) const MAX_FINGERPRINT_SPANS: usize = 8_192;
+
+/// Failed probes back off exponentially up to this many ticks, bounding
+/// detection overhead during transients to a few percent while costing at
+/// most this many full ticks of missed replay once a steady state forms.
+pub(crate) const MAX_PROBE_COOLDOWN: u32 = 32;
+
+/// The fast-forward state machine owned by the engine.
+#[derive(Debug, Default)]
+pub(crate) struct FastForward {
+    /// `true` when a shift step has been confirmed and not yet invalidated.
+    armed: bool,
+    /// First tick *start* time at which the confirmed transition no longer
+    /// applies (the next source-schedule phase boundary).
+    valid_until_ns: u64,
+    /// Captured per-class addends, flat in engine walk order (the probe
+    /// tick runs with accumulators zeroed, so each addend is exactly what
+    /// the tick applied).
+    pub(crate) deltas: Vec<InstanceAcc>,
+    /// Accumulator values saved while a probe tick runs from zero.
+    pub(crate) saved: Vec<InstanceAcc>,
+    /// Latency samples the probe tick appended (one tick's worth).
+    pub(crate) latency: Vec<(u64, f64)>,
+    /// `now - frontier` at the probe tick's end; `None` when the dataflow
+    /// was fully drained. The offset is shift-invariant, so the replayed
+    /// frontier is `now - offset` each tick.
+    pub(crate) frontier_offset: Option<u64>,
+    /// Pre-probe structural state (recycled buffer).
+    pub(crate) fingerprint: Fingerprint,
+    /// Full ticks to wait before the next probe attempt.
+    cooldown: u32,
+    /// Next cooldown on failure (exponential, capped).
+    next_cooldown: u32,
+    /// Work counters.
+    pub(crate) stats: FastForwardStats,
+}
+
+impl FastForward {
+    /// Whether a confirmed transition covers a tick starting at `now_ns`.
+    pub(crate) fn can_replay(&self, now_ns: u64) -> bool {
+        self.armed && now_ns < self.valid_until_ns
+    }
+
+    /// How many consecutive ticks starting at `now_ns` are replayable: each
+    /// must *end* at or before `horizon_ns` and *start* inside the armed
+    /// phase (strictly before `valid_until_ns`).
+    pub(crate) fn replayable_ticks(&self, now_ns: u64, tick_ns: u64, horizon_ns: u64) -> u64 {
+        if !self.can_replay(now_ns) {
+            return 0;
+        }
+        let by_horizon = horizon_ns.saturating_sub(now_ns) / tick_ns;
+        let by_phase = (self.valid_until_ns - now_ns).div_ceil(tick_ns);
+        by_horizon.min(by_phase)
+    }
+
+    /// Whether the engine should attempt a probe this tick. Counts down
+    /// the failure cooldown as a side effect.
+    pub(crate) fn should_probe(&mut self) -> bool {
+        if self.armed {
+            return false;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Arms replay after a confirmed shift step, valid for ticks starting
+    /// before `valid_until_ns`.
+    pub(crate) fn arm(&mut self, valid_until_ns: u64) {
+        self.armed = true;
+        self.valid_until_ns = valid_until_ns;
+        self.cooldown = 0;
+        self.next_cooldown = 1;
+    }
+
+    /// Records a failed probe and backs off.
+    pub(crate) fn probe_failed(&mut self) {
+        self.stats.probe_failures += 1;
+        let cooldown = self.next_cooldown.max(1);
+        self.cooldown = cooldown;
+        self.next_cooldown = (cooldown * 2).min(MAX_PROBE_COOLDOWN);
+    }
+
+    /// Drops any confirmed transition (rescale requested, phase boundary
+    /// reached, or an externally driven exact tick). Probing restarts
+    /// immediately: invalidation means the world changed, not that the
+    /// search was failing.
+    pub(crate) fn invalidate(&mut self) {
+        self.armed = false;
+        self.cooldown = 0;
+        self.next_cooldown = 1;
+    }
+
+    /// `true` while replay is armed (for tests and diagnostics).
+    pub(crate) fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooldown_backs_off_and_caps() {
+        let mut ff = FastForward::default();
+        assert!(ff.should_probe(), "first probe is immediate");
+        ff.probe_failed();
+        assert!(!ff.should_probe(), "cooldown 1 blocks the next tick");
+        assert!(ff.should_probe());
+        ff.probe_failed(); // cooldown 2
+        assert!(!ff.should_probe());
+        assert!(!ff.should_probe());
+        assert!(ff.should_probe());
+        for _ in 0..10 {
+            ff.probe_failed();
+        }
+        let mut blocked = 0;
+        while !ff.should_probe() {
+            blocked += 1;
+        }
+        assert_eq!(blocked, MAX_PROBE_COOLDOWN, "cooldown capped");
+    }
+
+    #[test]
+    fn arm_and_invalidate() {
+        let mut ff = FastForward::default();
+        ff.arm(1_000);
+        assert!(ff.can_replay(999));
+        assert!(!ff.can_replay(1_000), "valid_until is exclusive");
+        assert!(!ff.should_probe(), "armed state never probes");
+        ff.invalidate();
+        assert!(!ff.can_replay(0));
+        assert!(ff.should_probe(), "invalidation resets the cooldown");
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`queue`] — FIFO fluid queues tagged with source emission time;
 //! * [`source`] — offered-rate schedules and source specs;
 //! * [`engine`] — the fluid engine with Flink/Heron/Timely personalities;
+//! * [`fastforward`] — macro-tick steady-state detection and exact replay
+//!   (the engine skips provably identical ticks between workload phases
+//!   and control decisions);
 //! * [`latency`] — record-latency and epoch-latency accounting;
 //! * [`harness`] — the closed control loop driving any
 //!   [`ScalingController`](ds2_core::controller::ScalingController) against
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fastforward;
 pub mod harness;
 pub mod latency;
 pub mod profile;
@@ -36,6 +40,7 @@ pub mod source;
 pub use engine::{
     EngineConfig, EngineMode, FluidEngine, InstrumentationConfig, TickEvents, TickStats,
 };
+pub use fastforward::FastForwardStats;
 pub use harness::{ClosedLoop, HarnessConfig, RunResult, TimelinePoint};
 pub use latency::{EpochTracker, LatencyRecorder};
 pub use profile::{OperatorProfile, OutputMode, ProfileMap, ScalingCurve};

@@ -22,6 +22,14 @@ pub struct EpochQueue {
     spans: VecDeque<Span>,
     total: f64,
     capacity: f64,
+    /// When `true` the queue does not track emission times: every push
+    /// merges into a single span whose tag is frozen at the first push.
+    /// The fluid dynamics (lengths, spaces, drains) are driven purely by
+    /// record totals, so they are unaffected — only per-record latency and
+    /// epoch accounting lose meaning. The scenario matrix runs untagged
+    /// (it never reads latency), which removes the span bookkeeping from
+    /// its hot path.
+    untagged: bool,
 }
 
 /// Upper bound on the number of spans one queue tracks.
@@ -43,6 +51,19 @@ impl EpochQueue {
             spans: VecDeque::new(),
             total: 0.0,
             capacity,
+            untagged: false,
+        }
+    }
+
+    /// Creates an *untagged* queue: record totals evolve exactly as in a
+    /// tagged queue, but all queued records share one span (no emission
+    /// times, no per-record latency).
+    pub fn new_untagged(capacity: f64) -> Self {
+        Self {
+            spans: VecDeque::new(),
+            total: 0.0,
+            capacity,
+            untagged: true,
         }
     }
 
@@ -80,18 +101,41 @@ impl EpochQueue {
         self.spans.front().map(|s| s.emitted_ns)
     }
 
+    /// Number of spans currently tracked (bounded by `MAX_SPANS`).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Iterates the queued spans oldest-first (fast-forward fingerprinting
+    /// compares them bitwise against the previous tick's state).
+    pub fn spans(&self) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.iter()
+    }
+
+    /// Advances every span's emission tag by `delta_ns` — the batched
+    /// materialization of the time shift that fast-forwarded ticks defer
+    /// instead of rewriting tags tick by tick.
+    pub fn shift_tags(&mut self, delta_ns: u64) {
+        for s in &mut self.spans {
+            s.emitted_ns += delta_ns;
+        }
+    }
+
     /// Pushes records tagged `emitted_ns`, clamped to available space.
     /// Returns the amount actually enqueued.
     pub fn push(&mut self, emitted_ns: u64, records: f64) -> f64 {
-        let accepted = records.min(self.space()).max(0.0);
+        let space = self.space();
+        let clamped = records >= space;
+        let accepted = if clamped { space } else { records.max(0.0) };
         if accepted <= 0.0 {
             return 0.0;
         }
         // Merge with the tail span when the tag matches (sources push once
         // per tick, so this keeps the deque short), when the fragment is
-        // dust, or when the span list hit its bound. Merges keep the tail's
-        // (older) tag, which can only over-estimate latency, never hide it.
-        let at_cap = self.spans.len() >= MAX_SPANS;
+        // dust, when the span list hit its bound, or always for untagged
+        // queues. Merges keep the tail's (older) tag, which can only
+        // over-estimate latency, never hide it.
+        let at_cap = self.untagged || self.spans.len() >= MAX_SPANS;
         match self.spans.back_mut() {
             Some(tail) if tail.emitted_ns == emitted_ns || accepted < 1e-6 || at_cap => {
                 tail.records += accepted
@@ -101,7 +145,16 @@ impl EpochQueue {
                 records: accepted,
             }),
         }
-        self.total += accepted;
+        // A clamped push fills the queue *exactly* to capacity rather than
+        // adding `capacity - total` (which lands an ulp off). Saturated
+        // queues therefore return to a bitwise-identical fill level every
+        // tick, which is what lets fast-forward prove a backpressured
+        // equilibrium is a fixed point.
+        if clamped {
+            self.total = self.capacity;
+        } else {
+            self.total += accepted;
+        }
         accepted
     }
 

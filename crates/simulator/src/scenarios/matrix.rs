@@ -20,6 +20,16 @@
 //! regardless of thread count or scheduling order. Every cell regenerates
 //! its scenario from its own seed and drives its own engine RNG — no state
 //! is shared between cells beyond the immutable config.
+//!
+//! # Macro-tick fast-forward
+//!
+//! Cell engines run with steady-state fast-forward on by default
+//! ([`MatrixConfig::fast_forward`], see [`crate::fastforward`]): provably
+//! identical ticks between workload phases and control decisions are
+//! replayed instead of re-executed, and queues run untagged (the report
+//! never reads per-record latency). Outcomes are **bit-identical** with
+//! fast-forward on or off — `tests/fastforward_equivalence.rs` and the CI
+//! `--exact` report diff enforce it.
 
 use std::collections::BTreeMap;
 
@@ -115,12 +125,16 @@ pub struct MatrixConfig {
     /// Results are bit-identical for every value (including `1`, the
     /// sequential path).
     pub threads: usize,
+    /// Macro-tick fast-forward in the engine (default on). Reports are
+    /// bit-identical either way — `false` is the `--exact` escape hatch
+    /// that forces tick-by-tick execution, and CI diffs the two.
+    pub fast_forward: bool,
 }
 
 impl Default for MatrixConfig {
     fn default() -> Self {
         Self {
-            scenarios: 1_000,
+            scenarios: 5_000,
             base_seed: 0xD52,
             controllers: ControllerKind::ALL.to_vec(),
             generator: GeneratorConfig::default(),
@@ -129,6 +143,7 @@ impl Default for MatrixConfig {
             tick_ns: 25_000_000,
             max_parallelism: 64,
             threads: 0,
+            fast_forward: true,
         }
     }
 }
@@ -445,6 +460,20 @@ impl ScenarioMatrix {
         kind: ControllerKind,
         arena: &mut CellArena,
     ) -> ScenarioOutcome {
+        let result = self.run_one_raw(spec, kind, arena);
+        self.score(spec, kind, &result)
+    }
+
+    /// Runs one scenario under one controller and returns the raw
+    /// [`RunResult`] (timeline, decisions, latency, epochs) without
+    /// scoring it — the substrate of the fast-forward equivalence tests,
+    /// which compare whole results bitwise between engine modes.
+    pub fn run_one_raw(
+        &self,
+        spec: &ScenarioSpec,
+        kind: ControllerKind,
+        arena: &mut CellArena,
+    ) -> RunResult {
         let engine = self.build_engine(spec);
         let harness = HarnessConfig {
             policy_interval_ns: self.config.policy_interval_ns,
@@ -453,7 +482,7 @@ impl ScenarioMatrix {
             timely: false,
         };
         let graph = spec.topology.graph.clone();
-        let result = match kind {
+        match kind {
             ControllerKind::Ds2 => {
                 // Thread the arena's policy workspace through the manager
                 // and recover it for the worker's next cell.
@@ -499,8 +528,7 @@ impl ScenarioMatrix {
                 );
                 ClosedLoop::new(engine, c, harness).run_reusing(&mut arena.snapshot)
             }
-        };
-        self.score(spec, kind, &result)
+        }
     }
 
     /// The DS2 manager configuration the matrix uses (the §5.4 convergence
@@ -531,6 +559,12 @@ impl ScenarioMatrix {
                 reconfig_latency_ns: self.config.reconfig_latency_ns,
                 seed: spec.seed,
                 instrumentation: InstrumentationConfig::disabled(),
+                fast_forward: self.config.fast_forward,
+                // The matrix report never reads per-record latency or
+                // epochs, so the engines run untagged — queue dynamics are
+                // identical, and the span/latency bookkeeping disappears
+                // from the hot path.
+                track_record_latency: false,
                 ..Default::default()
             },
         )

@@ -45,6 +45,14 @@ impl RateSchedule {
     pub fn peak_rate(&self) -> f64 {
         self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
     }
+
+    /// The first phase boundary strictly after `now_ns`, if any — the time
+    /// the offered rate next changes. Fast-forward uses this to bound how
+    /// far a steady-state transition remains valid; `None` means the
+    /// schedule is constant from `now_ns` on.
+    pub fn next_change_after(&self, now_ns: u64) -> Option<u64> {
+        self.steps.iter().map(|&(t, _)| t).find(|&t| t > now_ns)
+    }
 }
 
 /// Configuration of one source operator in a simulated scenario.

@@ -1,0 +1,115 @@
+//! The fast-forward equivalence guarantee, end to end: a closed-loop run
+//! with macro-tick fast-forward enabled produces a `RunResult` — timeline,
+//! decisions, final deployment, latency samples, epochs — **equal** (and
+//! for every float, bitwise equal: `RunResult::eq` compares latency
+//! weights by bits and the timeline's rates with exact `f64` equality) to
+//! the same run executed tick by tick.
+//!
+//! Fast-forward only ever replays transitions it *proved* repeat exactly
+//! (see `ds2_simulator::fastforward`), so any divergence here is a bug in
+//! the proof obligations, not an accuracy trade-off. The property is
+//! checked across generated scenarios from every topology family and all
+//! of the matrix workload families — including runs with multiple
+//! rescales, which exercise invalidation (`request_rescale` cancels
+//! replay), halt windows and post-deploy re-probing.
+
+use ds2::simulator::scenarios::{
+    CellArena, ControllerKind, GeneratorConfig, MatrixConfig, ScenarioMatrix, ScenarioSpec,
+    TopologyShape, WorkloadShape,
+};
+
+fn matrix(fast_forward: bool, generator: GeneratorConfig) -> ScenarioMatrix {
+    ScenarioMatrix::new(MatrixConfig {
+        scenarios: 1,
+        controllers: vec![ControllerKind::Ds2],
+        generator,
+        fast_forward,
+        ..Default::default()
+    })
+}
+
+/// Fast-forward on vs off (`--exact`) is bit-identical across ≥50
+/// generated scenarios covering every topology and workload family.
+#[test]
+fn fastforward_runresults_are_bit_identical_across_scenarios() {
+    let generator = GeneratorConfig {
+        shapes: TopologyShape::ALL.to_vec(),
+        workloads: WorkloadShape::ALL.to_vec(),
+        run_duration_ns: 200_000_000_000,
+        ..Default::default()
+    };
+    let fast = matrix(true, generator.clone());
+    let exact = matrix(false, generator.clone());
+    let mut arena_fast = CellArena::new();
+    let mut arena_exact = CellArena::new();
+
+    let mut with_rescales = 0usize;
+    for seed in 0..60u64 {
+        let spec = ScenarioSpec::generate(seed, &generator);
+        let a = fast.run_one_raw(&spec, ControllerKind::Ds2, &mut arena_fast);
+        let b = exact.run_one_raw(&spec, ControllerKind::Ds2, &mut arena_exact);
+        assert_eq!(
+            a,
+            b,
+            "seed {} ({} / {}): fast-forward diverged from exact execution",
+            seed,
+            spec.topology.shape.name(),
+            spec.workload.shape.name(),
+        );
+        if !a.decisions.is_empty() {
+            with_rescales += 1;
+        }
+    }
+    // The property is only meaningful if the sample exercises rescales
+    // (fast-forward invalidation + halt windows + re-probing).
+    assert!(
+        with_rescales >= 20,
+        "only {with_rescales}/60 scenarios rescaled — sample too tame"
+    );
+}
+
+/// The equivalence also holds for the baseline controllers (different
+/// decision cadences stress different steady-state windows).
+#[test]
+fn fastforward_is_exact_for_baseline_controllers() {
+    let generator = GeneratorConfig {
+        run_duration_ns: 150_000_000_000,
+        ..Default::default()
+    };
+    let fast = matrix(true, generator.clone());
+    let exact = matrix(false, generator.clone());
+    let mut arena = CellArena::new();
+    for seed in 100..112u64 {
+        let spec = ScenarioSpec::generate(seed, &generator);
+        for kind in [
+            ControllerKind::Dhalion,
+            ControllerKind::Threshold,
+            ControllerKind::Queueing,
+        ] {
+            let a = fast.run_one_raw(&spec, kind, &mut arena);
+            let b = exact.run_one_raw(&spec, kind, &mut arena);
+            assert_eq!(a, b, "seed {seed} {kind:?} diverged");
+        }
+    }
+}
+
+/// Scored outcomes (the matrix report) are equal too — the report-level
+/// restatement of the guarantee the CI determinism job enforces on the
+/// full fixed-seed matrix.
+#[test]
+fn matrix_outcomes_match_between_modes() {
+    let mut cfg = MatrixConfig {
+        scenarios: 24,
+        controllers: vec![ControllerKind::Ds2, ControllerKind::Threshold],
+        generator: GeneratorConfig {
+            run_duration_ns: 150_000_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    cfg.fast_forward = true;
+    let fast = ScenarioMatrix::new(cfg.clone()).run();
+    cfg.fast_forward = false;
+    let exact = ScenarioMatrix::new(cfg).run();
+    assert_eq!(fast.outcomes, exact.outcomes);
+}

@@ -1,19 +1,22 @@
 //! The repo's headline regression test: DS2 converges within **three
-//! scaling steps** (paper §3.4, §5.4) across a fixed-seed 1000-scenario
+//! scaling steps** (paper §3.4, §5.4) across a fixed-seed 5000-scenario
 //! matrix of random topologies, workloads, cost profiles and starting
-//! deployments — run through the parallel sharded engine, and
-//! deterministically so: a small sequential-vs-parallel equivalence test
-//! guards that outcomes are bit-identical for any thread count.
+//! deployments — run through the parallel sharded engine with macro-tick
+//! fast-forward, and deterministically so: a small sequential-vs-parallel
+//! equivalence test guards that outcomes are bit-identical for any thread
+//! count, and `tests/fastforward_equivalence.rs` guards that fast-forward
+//! changes nothing.
 //!
 //! Failures are printed as scenario seeds: regenerate any of them with
 //! `ScenarioSpec::generate(seed, &claim_generator_config())`, or drive the
 //! full closed loop on one seed with
 //! `cargo run --release -p ds2-bench --bin scenario_matrix -- --seed <seed> --scenarios 1 ds2`.
 //!
-//! The 1000-scenario matrix is expensive, so it runs **once** (lazily,
+//! The 5000-scenario matrix is expensive, so it runs **once** (lazily,
 //! shared through a `OnceLock`) and every assertion — the three-step
 //! claim, provisioning accuracy, convergence health — reads the same
-//! report.
+//! report. (Before the fast-forward engine this file could only afford
+//! 1000 scenarios in the same wall-clock budget.)
 
 use std::sync::OnceLock;
 
@@ -43,7 +46,7 @@ fn claim_generator_config() -> GeneratorConfig {
 
 fn claim_matrix_config() -> MatrixConfig {
     MatrixConfig {
-        scenarios: 1_000,
+        scenarios: 5_000,
         base_seed: 0xD52_0001,
         controllers: vec![ControllerKind::Ds2],
         generator: claim_generator_config(),
@@ -51,19 +54,19 @@ fn claim_matrix_config() -> MatrixConfig {
     }
 }
 
-/// The shared 1000-scenario DS2 report (computed once per test binary).
+/// The shared 5000-scenario DS2 report (computed once per test binary).
 fn claim_report() -> &'static MatrixReport {
     static REPORT: OnceLock<MatrixReport> = OnceLock::new();
     REPORT.get_or_init(|| ScenarioMatrix::new(claim_matrix_config()).run())
 }
 
 /// DS2 settles in at most three scaling steps on at least 95% of the
-/// 1000-scenario matrix.
+/// 5000-scenario matrix.
 #[test]
 fn ds2_converges_within_three_steps_on_95_percent() {
     let report = claim_report();
     let summary = report.summary(ControllerKind::Ds2);
-    assert_eq!(summary.runs, 1_000);
+    assert_eq!(summary.runs, 5_000);
 
     let failing = report.failing_seeds("ds2");
     assert!(
