@@ -6,20 +6,30 @@
 //!
 //! ```text
 //!   --scenarios N     number of scenarios (default 40; the library default
-//!                     MatrixConfig runs 1000)
+//!                     MatrixConfig runs 5000)
 //!   --threads N       worker threads (default 0 = one per CPU; results are
 //!                     bit-identical for every value)
 //!   --seed S          base seed; scenario i runs seed S+i. Reproduce one
 //!                     failing seed with `--seed <seed> --scenarios 1`
+//!   --family F        scenario families to generate (default synthetic):
+//!                     `synthetic`, `nexmark` (all six queries),
+//!                     `nexmark_q1`/`q2`/`q3`/`q5`/`q8`/`q11`, `mixed`
+//!                     (synthetic + nexmark 50/50, the headline-test mix),
+//!                     or a comma-separated list of family names
 //!   --exact           disable macro-tick fast-forward: every tick is
 //!                     executed in full. The report is bit-identical to the
 //!                     default fast-forward mode (CI diffs the two); this
 //!                     is the escape hatch that proves it
 //!   --bench-json P    run the throughput baseline (1/4/8 threads with
-//!                     fast-forward, plus a 1-thread exact row) and write
-//!                     it to P as JSON, then exit
+//!                     fast-forward, plus a 1-thread exact row — each for
+//!                     the synthetic family — and 1/4-thread nexmark-family
+//!                     rows) and write it to P as JSON, then exit
 //!   controllers       any of ds2/dhalion/threshold/queueing (default all)
 //! ```
+//!
+//! With more than one family in play the per-family breakdown table is
+//! printed after the overall table (both deterministic across thread
+//! counts; CI diffs them).
 //!
 //! The report table goes to stdout; timing and progress go to stderr, so
 //! two runs with different `--threads` can be `diff`ed directly (CI does).
@@ -30,15 +40,39 @@
 
 use std::time::Instant;
 
-use ds2_simulator::scenarios::{ControllerKind, MatrixConfig, ScenarioMatrix, WorkloadShape};
+use ds2_simulator::scenarios::{
+    ControllerKind, MatrixConfig, ScenarioFamily, ScenarioMatrix, WorkloadShape,
+};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: scenario_matrix [--scenarios N] [--threads N] [--seed S] \
+         [--family synthetic|nexmark|nexmark_qN|mixed] [--exact] \
          [--bench-json PATH] [ds2|dhalion|threshold|queueing ...]"
     );
     std::process::exit(2);
+}
+
+/// Parses a `--family` value: a preset (`synthetic`, `nexmark`, `mixed`)
+/// or a comma-separated list of family names.
+fn parse_families(value: &str) -> Vec<ScenarioFamily> {
+    match value {
+        "synthetic" => vec![ScenarioFamily::Synthetic],
+        "nexmark" => ScenarioFamily::ALL_NEXMARK.to_vec(),
+        // The headline-test mix: synthetic and nexmark weighted 50/50.
+        "mixed" => ScenarioFamily::headline_mix(),
+        list => {
+            let families: Vec<ScenarioFamily> = list
+                .split(',')
+                .filter_map(|n| ScenarioFamily::from_name(n.trim()))
+                .collect();
+            if families.is_empty() {
+                usage_exit(&format!("--family: no known family in '{list}'"));
+            }
+            families
+        }
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &mut std::vec::IntoIter<String>, flag: &str) -> T {
@@ -55,6 +89,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut bench_json: Option<String> = None;
     let mut fast_forward = true;
+    let mut families: Option<Vec<ScenarioFamily>> = None;
     let mut controllers: Vec<ControllerKind> = Vec::new();
 
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
@@ -63,6 +98,10 @@ fn main() {
             "--scenarios" => scenarios = parse_flag(&mut args, "--scenarios"),
             "--threads" => threads = parse_flag(&mut args, "--threads"),
             "--seed" => seed = Some(parse_flag(&mut args, "--seed")),
+            "--family" => {
+                let value: String = parse_flag(&mut args, "--family");
+                families = Some(parse_families(&value));
+            }
             "--exact" => fast_forward = false,
             "--bench-json" => bench_json = args.next().or_else(|| usage_exit("--bench-json")),
             "ds2" => controllers.push(ControllerKind::Ds2),
@@ -89,6 +128,9 @@ fn main() {
         fast_forward,
         ..Default::default()
     };
+    if let Some(families) = families {
+        config.generator.families = families;
+    }
     if let Some(seed) = seed.or_else(|| {
         std::env::var("DS2_MATRIX_SEED")
             .ok()
@@ -161,49 +203,70 @@ fn main() {
         config.controllers.len(),
     );
     println!("{}", report.render(&controllers));
+    if report.families().len() > 1 {
+        println!("{}", report.render_families(&controllers));
+    }
     for &kind in &controllers {
         let failing = report.failing_seeds(kind.name());
         if !failing.is_empty() {
             println!(
-                "{}: {} runs outside the three-step claim; seeds {:?}",
+                "{}: {} runs outside the three-step claim:\n{}",
                 kind.name(),
                 failing.len(),
-                failing
+                report.describe_failures(kind.name()),
             );
         }
     }
 }
 
-/// Measures matrix throughput (scenarios/second) at each of the standard
-/// thread counts — 1, 4 and 8 with fast-forward, plus a 1-thread `--exact`
-/// row quantifying the macro-tick speedup — writing one JSON entry per
+/// Measures matrix throughput (scenarios/second) per scenario family at
+/// the standard thread counts — the synthetic family at 1/4/8 threads with
+/// fast-forward plus a 1-thread `--exact` row quantifying the macro-tick
+/// speedup, and the nexmark family (all six queries, mostly windowed and
+/// therefore tick-by-tick) at 1/4 threads — writing one JSON entry per
 /// configuration so the committed baseline captures single-thread
-/// data-plane speed, parallel scaling and the fast-forward ratio. Thread
-/// counts beyond the host's CPUs still run (the sharded queue
-/// over-subscribes harmlessly); the `threads` field records the
-/// configuration, `cpus` the host, so readers can judge comparability.
+/// data-plane speed, parallel scaling, the fast-forward ratio and the
+/// real-query-dataflow cost. Thread counts beyond the host's CPUs still
+/// run (the sharded queue over-subscribes harmlessly); the `threads` field
+/// records the configuration, `cpus` the host, so readers can judge
+/// comparability.
 fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let scenarios = base.scenarios.clamp(8, 64);
     let mut entries = Vec::new();
-    for (threads, fast_forward) in [(1usize, true), (4, true), (8, true), (1, false)] {
-        let config = MatrixConfig {
+    // (family-suffix, families, threads, fast_forward): the synthetic rows
+    // keep their historical names (no suffix) so the CI bench_guard gate
+    // and baseline trajectories stay comparable across PRs.
+    let runs: [(&str, Vec<ScenarioFamily>, usize, bool); 6] = [
+        ("", vec![ScenarioFamily::Synthetic], 1, true),
+        ("", vec![ScenarioFamily::Synthetic], 4, true),
+        ("", vec![ScenarioFamily::Synthetic], 8, true),
+        ("", vec![ScenarioFamily::Synthetic], 1, false),
+        ("_nexmark", ScenarioFamily::ALL_NEXMARK.to_vec(), 1, true),
+        ("_nexmark", ScenarioFamily::ALL_NEXMARK.to_vec(), 4, true),
+    ];
+    for (family_suffix, families, threads, fast_forward) in runs {
+        let mut config = MatrixConfig {
             scenarios,
             threads,
             controllers: vec![ControllerKind::Ds2],
             fast_forward,
             ..base.clone()
         };
+        config.generator.families = families;
         let matrix = ScenarioMatrix::new(config);
         let t0 = Instant::now();
         let report = matrix.run();
         let elapsed = t0.elapsed().as_secs_f64();
         let per_s = scenarios as f64 / elapsed;
-        let suffix = if fast_forward { "" } else { "_exact" };
+        let suffix = format!(
+            "{}{family_suffix}",
+            if fast_forward { "" } else { "_exact" }
+        );
         eprintln!(
-            "bench: {scenarios} scenarios on {threads} thread(s){}: {elapsed:.2}s \
+            "bench: {scenarios}{family_suffix} scenarios on {threads} thread(s){}: {elapsed:.2}s \
              ({per_s:.2} scenarios/s, {} outcomes)",
             if fast_forward { "" } else { " [exact]" },
             report.outcomes.len()

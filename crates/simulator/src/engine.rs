@@ -2316,6 +2316,41 @@ mod tests {
         assert_engines_agree(&mut exact, &mut fast, &ids);
     }
 
+    /// Windowed operators make the whole dataflow fast-forward ineligible:
+    /// window firings are tied to absolute time, so a tick is never a pure
+    /// shift of its predecessor. The engine must not even *probe* — the
+    /// nexmark windowed query families (Q5/Q8/Q11) rely on this bail-out
+    /// staying pinned; if windowed replay support is ever added, this test
+    /// is the reminder that its proof obligations change.
+    #[test]
+    fn windowed_topologies_are_fastforward_ineligible() {
+        let (graph, ids) = chain(&[(10_000.0, 1.0), (10_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        // One windowed operator in an otherwise steady chain suffices.
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(10_000.0, 1.0).windowed(1_000_000_000),
+        );
+        profiles.insert(ids[2], OperatorProfile::with_capacity(10_000.0, 1.0));
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(1_000.0));
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            fast_forward: true,
+            ..Default::default()
+        };
+        let d = Deployment::uniform(&graph, 1);
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        for _ in 0..2_000 {
+            e.tick_within(u64::MAX);
+        }
+        let stats = e.fastforward_stats();
+        assert!(!e.fastforward_active(), "windowed dataflow armed replay");
+        assert_eq!(stats.probes, 0, "windowed dataflow probed: {stats:?}");
+        assert_eq!(stats.replayed_ticks, 0, "windowed dataflow replayed");
+        assert_eq!(stats.full_ticks, 2_000);
+    }
+
     #[test]
     fn fastforward_disabled_runs_full_ticks() {
         let cfg = EngineConfig {

@@ -18,13 +18,24 @@ use rand::{Rng, SeedableRng};
 use crate::profile::{OperatorProfile, ProfileMap, ScalingCurve};
 use crate::source::SourceSpec;
 
+use super::nexmark::{self, ScenarioFamily};
 use super::topology::{Topology, TopologyShape};
 use super::workload::{Workload, WorkloadShape};
 
 /// Knobs for scenario generation.
 #[derive(Debug, Clone)]
 pub struct GeneratorConfig {
-    /// Topology families to draw from.
+    /// Scenario families to draw from: the synthetic generator and/or
+    /// Nexmark query dataflows. Repetition weights the draw (e.g.
+    /// [`ScenarioFamily::headline_mix`] — six `Synthetic` entries plus
+    /// [`ScenarioFamily::ALL_NEXMARK`] — yields a 50/50 synthetic/nexmark
+    /// mix). The family draw runs on its own RNG stream and the scenario
+    /// body on a `(seed, family)`-derived one, so a `(seed, family)` pair
+    /// generates bit-identically under any list — and synthetic-only
+    /// configs generate bit-identical scenarios to configs predating the
+    /// family axis.
+    pub families: Vec<ScenarioFamily>,
+    /// Topology families to draw from (synthetic scenarios only).
     pub shapes: Vec<TopologyShape>,
     /// Workload families to draw from.
     pub workloads: Vec<WorkloadShape>,
@@ -52,6 +63,7 @@ pub struct GeneratorConfig {
 impl Default for GeneratorConfig {
     fn default() -> Self {
         Self {
+            families: vec![ScenarioFamily::Synthetic],
             shapes: TopologyShape::ALL.to_vec(),
             workloads: WorkloadShape::ALL.to_vec(),
             operators: (2, 12),
@@ -66,11 +78,17 @@ impl Default for GeneratorConfig {
     }
 }
 
+/// Seed salt of the family-draw RNG stream (distinct from every scenario
+/// body stream).
+const FAMILY_DRAW_SALT: u64 = 0xFA31_11D8_2B5C_6E93;
+
 /// One fully specified experiment.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// The seed this scenario was generated from (reproduces it exactly).
     pub seed: u64,
+    /// The family this scenario was drawn from.
+    pub family: ScenarioFamily,
     /// The generated topology.
     pub topology: Topology,
     /// The generated workload.
@@ -85,8 +103,53 @@ pub struct ScenarioSpec {
 
 impl ScenarioSpec {
     /// Generates the scenario for `seed` under `config`.
+    ///
+    /// The family is drawn on its own RNG stream and the scenario *body*
+    /// generates from a `(seed, family)`-derived stream, so a given pair
+    /// produces the identical scenario under **any** family list: a
+    /// failing cell of a multi-family matrix regenerates bit-exactly from
+    /// a single-family config (`--seed <seed> --family <family>`, with
+    /// matching workload/duration knobs). Synthetic bodies read the raw
+    /// seed stream — salt 0 — exactly as before the family axis existed.
     pub fn generate(seed: u64, config: &GeneratorConfig) -> ScenarioSpec {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let family = match config.families.len() {
+            0 => ScenarioFamily::Synthetic,
+            1 => config.families[0],
+            // The draw's own stream: consuming it must not shift the body.
+            n => {
+                let mut family_rng = SmallRng::seed_from_u64(seed ^ FAMILY_DRAW_SALT);
+                config.families[family_rng.gen_range(0..n)]
+            }
+        };
+        let mut rng = SmallRng::seed_from_u64(seed ^ family.scenario_salt());
+        match family {
+            ScenarioFamily::Synthetic => Self::generate_synthetic(seed, config, rng),
+            ScenarioFamily::Nexmark(query) => {
+                let workload_shape = config.workloads[rng.gen_range(0..config.workloads.len())];
+                let workload = Workload::generate(
+                    workload_shape,
+                    config.run_duration_ns,
+                    config.rate_range,
+                    &mut rng,
+                );
+                let (topology, profiles, sources, initial) =
+                    nexmark::lower(query, &workload, config, &mut rng);
+                ScenarioSpec {
+                    seed,
+                    family,
+                    topology,
+                    workload,
+                    profiles,
+                    sources,
+                    initial,
+                }
+            }
+        }
+    }
+
+    /// The original synthetic generator: random topology × workload ×
+    /// profiles × initial deployment.
+    fn generate_synthetic(seed: u64, config: &GeneratorConfig, mut rng: SmallRng) -> ScenarioSpec {
         let shape = config.shapes[rng.gen_range(0..config.shapes.len())];
         let workload_shape = config.workloads[rng.gen_range(0..config.workloads.len())];
         let n_ops = rng.gen_range(config.operators.0..=config.operators.1);
@@ -180,6 +243,7 @@ impl ScenarioSpec {
 
         ScenarioSpec {
             seed,
+            family: ScenarioFamily::Synthetic,
             topology,
             workload,
             profiles,
@@ -189,15 +253,24 @@ impl ScenarioSpec {
     }
 
     /// Analytic target input rate per operator when every upstream keeps up
-    /// with `source_rate` (the ground truth of Eq. 8).
+    /// with a total workload rate of `source_rate` (the ground truth of
+    /// Eq. 8). Each source offers `source_rate` scaled by its share of the
+    /// workload's final rate: synthetic sources all run the full schedule
+    /// (share 1 — the merge stage of a multi-source topology sees the
+    /// sum), while nexmark feeds split one schedule at fixed ratios.
     pub fn target_rates(&self, source_rate: f64) -> BTreeMap<OperatorId, f64> {
         let graph = &self.topology.graph;
         let mut out_rate: BTreeMap<OperatorId, f64> = BTreeMap::new();
         let mut targets = BTreeMap::new();
         for op in graph.topological_order().collect::<Vec<_>>() {
             if graph.is_source(op) {
-                out_rate.insert(op, source_rate);
-                targets.insert(op, source_rate);
+                // `share == 1.0` exactly for synthetic sources (their
+                // schedule tail *is* the workload's final rate), keeping
+                // pre-family-axis targets bit-identical.
+                let share = self.sources[&op].schedule.rate_at(u64::MAX) / self.workload.final_rate;
+                let rate = source_rate * share;
+                out_rate.insert(op, rate);
+                targets.insert(op, rate);
                 continue;
             }
             let rt: f64 = graph
@@ -255,6 +328,74 @@ impl ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multi_family_cells_reproduce_from_single_family_configs() {
+        // The reproduction guarantee behind `describe_failures`: a cell of
+        // a multi-family matrix regenerates bit-exactly from a config
+        // whose family list contains only that cell's family — the family
+        // draw must not perturb the scenario body.
+        let mut mixed = GeneratorConfig {
+            families: ScenarioFamily::headline_mix(),
+            ..Default::default()
+        };
+        // Also with a restricted workload list, like the headline config.
+        mixed.workloads = vec![
+            WorkloadShape::Constant,
+            WorkloadShape::Step,
+            WorkloadShape::Spike,
+        ];
+        let mut seen_nexmark = 0;
+        for seed in 0..60 {
+            let a = ScenarioSpec::generate(seed, &mixed);
+            let single = GeneratorConfig {
+                families: vec![a.family],
+                ..mixed.clone()
+            };
+            let b = ScenarioSpec::generate(seed, &single);
+            assert_eq!(a.family, b.family, "seed {seed}");
+            assert_eq!(a.topology.ids, b.topology.ids, "seed {seed}");
+            assert_eq!(
+                a.topology.graph.edges(),
+                b.topology.graph.edges(),
+                "seed {seed}"
+            );
+            assert_eq!(a.profiles, b.profiles, "seed {seed}");
+            assert_eq!(a.sources, b.sources, "seed {seed}");
+            assert_eq!(a.initial, b.initial, "seed {seed}");
+            assert_eq!(a.workload.spec, b.workload.spec, "seed {seed}");
+            if a.family != ScenarioFamily::Synthetic {
+                seen_nexmark += 1;
+            }
+        }
+        assert!(seen_nexmark >= 15, "mix drew only {seen_nexmark} nexmark");
+    }
+
+    #[test]
+    fn synthetic_cells_of_a_mix_match_the_synthetic_only_stream() {
+        // Synthetic bodies use salt 0: a synthetic cell of a mixed matrix
+        // equals the plain synthetic-only generation of the same seed
+        // (which itself is the pre-family-axis stream).
+        let mixed = GeneratorConfig {
+            families: ScenarioFamily::headline_mix(),
+            ..Default::default()
+        };
+        let synthetic_only = GeneratorConfig::default();
+        let mut checked = 0;
+        for seed in 0..40 {
+            let a = ScenarioSpec::generate(seed, &mixed);
+            if a.family != ScenarioFamily::Synthetic {
+                continue;
+            }
+            let b = ScenarioSpec::generate(seed, &synthetic_only);
+            assert_eq!(a.topology.ids, b.topology.ids, "seed {seed}");
+            assert_eq!(a.profiles, b.profiles, "seed {seed}");
+            assert_eq!(a.initial, b.initial, "seed {seed}");
+            assert_eq!(a.workload.spec, b.workload.spec, "seed {seed}");
+            checked += 1;
+        }
+        assert!(checked >= 10, "only {checked} synthetic cells in the mix");
+    }
 
     #[test]
     fn generation_is_deterministic() {

@@ -155,6 +155,8 @@ pub struct ScenarioOutcome {
     pub seed: u64,
     /// Controller that produced this outcome.
     pub controller: &'static str,
+    /// Scenario family (`synthetic` or a `nexmark_q*` query).
+    pub family: &'static str,
     /// Topology family of the scenario.
     pub topology: &'static str,
     /// Workload family of the scenario.
@@ -235,16 +237,78 @@ impl MatrixReport {
     /// Seeds of runs (for `controller`) that failed the three-step claim,
     /// for reproduction.
     pub fn failing_seeds(&self, controller: &str) -> Vec<u64> {
-        self.for_controller(controller)
-            .filter(|o| !o.converged || o.steps_final_phase > 3)
-            .map(|o| o.seed)
-            .collect()
+        self.failing_runs(controller).map(|o| o.seed).collect()
     }
 
-    /// Aggregates one controller's outcomes.
+    /// Runs (for `controller`) that failed the three-step claim.
+    pub fn failing_runs<'a>(
+        &'a self,
+        controller: &'a str,
+    ) -> impl Iterator<Item = &'a ScenarioOutcome> + 'a {
+        self.for_controller(controller)
+            .filter(|o| !o.converged || o.steps_final_phase > 3)
+    }
+
+    /// Human-readable reproduction lines for every run that failed the
+    /// three-step claim: the scenario's seed *and* its family/topology/
+    /// workload, so a matrix regression is reproducible from the test
+    /// output alone — `--seed <seed> --scenarios 1 --family <family>`
+    /// regenerates the cell bit-exactly under the original run's workload
+    /// list and duration (`DS2_MATRIX_WORKLOADS`/`DS2_MATRIX_DURATION_S`),
+    /// because scenario bodies generate from the `(seed, family)` pair.
+    pub fn describe_failures(&self, controller: &str) -> String {
+        let mut out = String::new();
+        for o in self.failing_runs(controller) {
+            out.push_str(&format!(
+                "  seed={} family={} topology={} workload={} steps={} converged={} ratio={:.3}\n",
+                o.seed,
+                o.family,
+                o.topology,
+                o.workload,
+                o.steps_final_phase,
+                o.converged,
+                o.final_achieved_ratio,
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        out
+    }
+
+    /// The distinct scenario families in this report, in first-appearance
+    /// order (deterministic: outcomes are in matrix order).
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut families = Vec::new();
+        for o in &self.outcomes {
+            if !families.contains(&o.family) {
+                families.push(o.family);
+            }
+        }
+        families
+    }
+
+    /// Aggregates one controller's outcomes across the whole matrix.
     pub fn summary(&self, kind: ControllerKind) -> ControllerSummary {
+        self.summarize(kind, None)
+    }
+
+    /// Aggregates one controller's outcomes within one scenario family.
+    /// The per-family summaries partition the overall [`summary`]
+    /// (`crates/simulator/tests/properties.rs` proves counts and score
+    /// sums add up for arbitrary family mixes).
+    ///
+    /// [`summary`]: MatrixReport::summary
+    pub fn summary_for_family(&self, kind: ControllerKind, family: &str) -> ControllerSummary {
+        self.summarize(kind, Some(family))
+    }
+
+    fn summarize(&self, kind: ControllerKind, family: Option<&str>) -> ControllerSummary {
         let name = kind.name();
-        let outcomes: Vec<&ScenarioOutcome> = self.for_controller(name).collect();
+        let outcomes: Vec<&ScenarioOutcome> = self
+            .for_controller(name)
+            .filter(|o| family.is_none_or(|f| o.family == f))
+            .collect();
         let runs = outcomes.len();
         let converged_runs: Vec<&&ScenarioOutcome> =
             outcomes.iter().filter(|o| o.converged).collect();
@@ -316,6 +380,36 @@ impl MatrixReport {
                 s.mean_reversals,
                 s.total_decisions,
             ));
+        }
+        out
+    }
+
+    /// Renders the per-family breakdown: one row per scenario family ×
+    /// controller, in first-appearance family order. Deterministic for any
+    /// thread count (the report is).
+    pub fn render_families(&self, controllers: &[ControllerKind]) -> String {
+        let mut out = String::from(
+            "family       controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions\n",
+        );
+        for family in self.families() {
+            for &kind in controllers {
+                let s = self.summary_for_family(kind, family);
+                out.push_str(&format!(
+                    "{:<11}  {:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}\n",
+                    family,
+                    s.controller,
+                    s.runs,
+                    s.converged,
+                    s.within_three_steps,
+                    s.fraction_within_three,
+                    s.mean_steps,
+                    s.max_steps,
+                    s.mean_overprovision,
+                    s.underprovisioned_runs,
+                    s.mean_reversals,
+                    s.total_decisions,
+                ));
+            }
         }
         out
     }
@@ -649,6 +743,7 @@ impl ScenarioMatrix {
         ScenarioOutcome {
             seed: spec.seed,
             controller: kind.name(),
+            family: spec.family.name(),
             topology: spec.topology.shape.name(),
             workload: spec.workload.shape.name(),
             operators: graph.len(),

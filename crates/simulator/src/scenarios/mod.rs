@@ -13,10 +13,13 @@
 //!   and correlated with a rate spike;
 //! * [`generator`] — seeded assembly of complete scenarios with analytic
 //!   ground-truth optimal parallelism;
+//! * [`nexmark`] — the paper's real query dataflows (Nexmark Q1/Q2/Q3/Q5/
+//!   Q8/Q11, §5.1) lowered into matrix scenarios: windowed mains, keyed
+//!   hot-key classes, multi-feed ingestion at Table 3 rate ratios;
 //! * [`matrix`] — the cross-product runner scoring steps-to-convergence,
 //!   over/under-provisioning and SASO-style stability for DS2 and each
 //!   baseline controller, sharded over worker threads with bit-identical
-//!   results for any thread count.
+//!   results for any thread count, reported overall and per family.
 //!
 //! Everything is a pure function of the seed: scenario `i` of a matrix
 //! uses seed `base_seed + i`, each cell's engine RNG derives from that
@@ -46,6 +49,7 @@
 
 pub mod generator;
 pub mod matrix;
+pub mod nexmark;
 pub mod topology;
 pub mod workload;
 
@@ -54,5 +58,6 @@ pub use matrix::{
     parallelism_sequences, CellArena, ControllerKind, ControllerSummary, MatrixConfig,
     MatrixReport, ScenarioMatrix, ScenarioOutcome,
 };
+pub use nexmark::{NexmarkQuery, ScenarioFamily};
 pub use topology::{Topology, TopologyShape};
 pub use workload::{Workload, WorkloadShape};

@@ -53,6 +53,15 @@ impl RateSchedule {
     pub fn next_change_after(&self, now_ns: u64) -> Option<u64> {
         self.steps.iter().map(|&(t, _)| t).find(|&t| t > now_ns)
     }
+
+    /// The same phase boundaries with every rate multiplied by `factor` —
+    /// how a multi-feed scenario splits one workload schedule across its
+    /// sources at fixed rate ratios.
+    pub fn scaled(&self, factor: f64) -> RateSchedule {
+        RateSchedule {
+            steps: self.steps.iter().map(|&(t, r)| (t, r * factor)).collect(),
+        }
+    }
 }
 
 /// Configuration of one source operator in a simulated scenario.
@@ -100,6 +109,15 @@ impl SourceSpec {
     pub fn with_generation_cost(mut self, ns: f64) -> Self {
         self.generation_cost_ns = ns;
         self
+    }
+
+    /// This spec with every schedule rate multiplied by `factor` (backlog
+    /// semantics and generation cost unchanged).
+    pub fn scaled(&self, factor: f64) -> SourceSpec {
+        SourceSpec {
+            schedule: self.schedule.scaled(factor),
+            ..self.clone()
+        }
     }
 }
 

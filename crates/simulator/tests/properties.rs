@@ -8,6 +8,10 @@ use ds2_core::graph::{GraphBuilder, LogicalGraph, OperatorId};
 use ds2_simulator::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
 use ds2_simulator::profile::{OperatorProfile, ProfileMap};
 use ds2_simulator::queue::EpochQueue;
+use ds2_simulator::scenarios::{
+    ControllerKind, ControllerSummary, GeneratorConfig, MatrixConfig, NexmarkQuery, ScenarioFamily,
+    ScenarioMatrix,
+};
 use ds2_simulator::source::SourceSpec;
 use proptest::prelude::*;
 
@@ -213,6 +217,126 @@ proptest! {
         prop_assert!((popped + q.len() - total).abs() < 1e-6);
         for w in spans.windows(2) {
             prop_assert!(w[0].emitted_ns <= w[1].emitted_ns, "FIFO violated");
+        }
+    }
+}
+
+/// The family-mix pool the partition property draws from: the synthetic
+/// family and every nexmark query family.
+const FAMILY_POOL: [ScenarioFamily; 7] = [
+    ScenarioFamily::Synthetic,
+    ScenarioFamily::Nexmark(NexmarkQuery::Q1),
+    ScenarioFamily::Nexmark(NexmarkQuery::Q2),
+    ScenarioFamily::Nexmark(NexmarkQuery::Q3),
+    ScenarioFamily::Nexmark(NexmarkQuery::Q5),
+    ScenarioFamily::Nexmark(NexmarkQuery::Q8),
+    ScenarioFamily::Nexmark(NexmarkQuery::Q11),
+];
+
+proptest! {
+    // Matrix runs are whole closed-loop simulations; a handful of randomized
+    // mixes suffices to catch a summary that double-counts or drops a slice.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Per-family `MatrixReport` summaries partition the overall summary:
+    /// for any family mix (with repetition-weighted draws) and any thread
+    /// count, the per-family counts and score sums add up exactly to the
+    /// overall `summary()` — no outcome is dropped, duplicated, or
+    /// attributed to two families.
+    #[test]
+    fn family_summaries_partition_the_overall_summary(
+        family_picks in proptest::collection::vec(0usize..FAMILY_POOL.len(), 1..6),
+        scenarios in 3usize..8,
+        threads in 1usize..4,
+        seed_offset in 0u64..1_000,
+    ) {
+        let families: Vec<ScenarioFamily> =
+            family_picks.into_iter().map(|i| FAMILY_POOL[i]).collect();
+        let config = MatrixConfig {
+            scenarios,
+            base_seed: 0x9A37 + seed_offset,
+            threads,
+            controllers: vec![ControllerKind::Ds2, ControllerKind::Threshold],
+            generator: GeneratorConfig {
+                families,
+                run_duration_ns: 120_000_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = ScenarioMatrix::new(config.clone()).run();
+        prop_assert_eq!(report.outcomes.len(), scenarios * 2);
+
+        let families = report.families();
+        // Every outcome's family is one of the listed families, and the
+        // list is duplicate-free.
+        for pair in families.windows(2) {
+            prop_assert_ne!(pair[0], pair[1]);
+        }
+        for kind in [ControllerKind::Ds2, ControllerKind::Threshold] {
+            let overall = report.summary(kind);
+            let slices: Vec<ControllerSummary> = families
+                .iter()
+                .map(|f| report.summary_for_family(kind, f))
+                .collect();
+            // Counts partition exactly.
+            prop_assert_eq!(slices.iter().map(|s| s.runs).sum::<usize>(), overall.runs);
+            prop_assert_eq!(
+                slices.iter().map(|s| s.converged).sum::<usize>(),
+                overall.converged
+            );
+            prop_assert_eq!(
+                slices.iter().map(|s| s.within_three_steps).sum::<usize>(),
+                overall.within_three_steps
+            );
+            prop_assert_eq!(
+                slices.iter().map(|s| s.underprovisioned_runs).sum::<usize>(),
+                overall.underprovisioned_runs
+            );
+            prop_assert_eq!(
+                slices.iter().map(|s| s.total_decisions).sum::<usize>(),
+                overall.total_decisions
+            );
+            prop_assert_eq!(
+                slices.iter().map(|s| s.max_steps).max().unwrap_or(0),
+                overall.max_steps
+            );
+            // Score sums partition (means recombine through their weights).
+            let steps_sum: f64 = slices
+                .iter()
+                .map(|s| s.mean_steps * s.converged as f64)
+                .sum();
+            prop_assert!(
+                (steps_sum - overall.mean_steps * overall.converged as f64).abs() < 1e-9,
+                "steps sum {} != overall {}",
+                steps_sum,
+                overall.mean_steps * overall.converged as f64
+            );
+            let over_sum: f64 = slices
+                .iter()
+                .map(|s| s.mean_overprovision * s.converged as f64)
+                .sum();
+            prop_assert!(
+                (over_sum - overall.mean_overprovision * overall.converged as f64).abs() < 1e-9,
+                "overprovision sum diverged"
+            );
+            let reversal_sum: f64 = slices
+                .iter()
+                .map(|s| s.mean_reversals * s.runs as f64)
+                .sum();
+            prop_assert!(
+                (reversal_sum - overall.mean_reversals * overall.runs as f64).abs() < 1e-9,
+                "reversal sum diverged"
+            );
+            // And the fraction recombines from the partitioned counts.
+            if overall.runs > 0 {
+                prop_assert!(
+                    (overall.fraction_within_three
+                        - overall.within_three_steps as f64 / overall.runs as f64)
+                        .abs()
+                        < 1e-12
+                );
+            }
         }
     }
 }

@@ -14,8 +14,8 @@
 //! replay), halt windows and post-deploy re-probing.
 
 use ds2::simulator::scenarios::{
-    CellArena, ControllerKind, GeneratorConfig, MatrixConfig, ScenarioMatrix, ScenarioSpec,
-    TopologyShape, WorkloadShape,
+    CellArena, ControllerKind, GeneratorConfig, MatrixConfig, NexmarkQuery, ScenarioFamily,
+    ScenarioMatrix, ScenarioSpec, TopologyShape, WorkloadShape,
 };
 
 fn matrix(fast_forward: bool, generator: GeneratorConfig) -> ScenarioMatrix {
@@ -68,6 +68,39 @@ fn fastforward_runresults_are_bit_identical_across_scenarios() {
     );
 }
 
+/// The equivalence holds for the nexmark scenario families too, across
+/// every workload shape: the windowed queries (Q5/Q8/Q11) are fast-forward
+/// *ineligible* — the engine must bail to tick-by-tick execution, never
+/// replay — while the stateless queries (Q1/Q2) replay their steady states;
+/// either way the `RunResult` is bitwise identical to `--exact`.
+#[test]
+fn fastforward_is_exact_for_nexmark_families() {
+    for query in NexmarkQuery::ALL {
+        let generator = GeneratorConfig {
+            families: vec![ScenarioFamily::Nexmark(query)],
+            workloads: WorkloadShape::ALL.to_vec(),
+            run_duration_ns: 150_000_000_000,
+            ..Default::default()
+        };
+        let fast = matrix(true, generator.clone());
+        let exact = matrix(false, generator.clone());
+        let mut arena_fast = CellArena::new();
+        let mut arena_exact = CellArena::new();
+        for seed in 0..10u64 {
+            let spec = ScenarioSpec::generate(seed, &generator);
+            let a = fast.run_one_raw(&spec, ControllerKind::Ds2, &mut arena_fast);
+            let b = exact.run_one_raw(&spec, ControllerKind::Ds2, &mut arena_exact);
+            assert_eq!(
+                a,
+                b,
+                "seed {seed} ({} / {}): fast-forward diverged from exact execution",
+                spec.family.name(),
+                spec.workload.shape.name(),
+            );
+        }
+    }
+}
+
 /// The equivalence also holds for the baseline controllers (different
 /// decision cadences stress different steady-state windows).
 #[test]
@@ -98,10 +131,12 @@ fn fastforward_is_exact_for_baseline_controllers() {
 /// full fixed-seed matrix.
 #[test]
 fn matrix_outcomes_match_between_modes() {
+    // The headline mix: synthetic and nexmark families together.
     let mut cfg = MatrixConfig {
         scenarios: 24,
         controllers: vec![ControllerKind::Ds2, ControllerKind::Threshold],
         generator: GeneratorConfig {
+            families: ScenarioFamily::headline_mix(),
             run_duration_ns: 150_000_000_000,
             ..Default::default()
         },

@@ -1,0 +1,217 @@
+//! Golden-shape tests for the nexmark scenario family: the simulator's
+//! lowering (`ds2_simulator::scenarios::nexmark`) is pinned operator by
+//! operator against `ds2_nexmark::profiles` — the two crates cannot share
+//! the types (`ds2-nexmark` depends on `ds2-simulator`), so this root
+//! test is the bridge that keeps them in lockstep — and DS2's converged
+//! parallelism on the reference scenarios must be consistent with the
+//! paper's reported per-query configurations
+//! (`expected_flink_parallelism`).
+
+use std::collections::BTreeSet;
+
+use ds2::nexmark::profiles::{expected_flink_parallelism, setup, QueryId, Target};
+use ds2::simulator::profile::OutputMode;
+use ds2::simulator::scenarios::nexmark::reference_spec;
+use ds2::simulator::scenarios::{
+    CellArena, ControllerKind, GeneratorConfig, MatrixConfig, NexmarkQuery, ScenarioFamily,
+    ScenarioMatrix, ScenarioSpec, WorkloadShape,
+};
+
+/// The 1:1 correspondence between the simulator's family enum and the
+/// nexmark crate's query ids.
+fn query_id(q: NexmarkQuery) -> QueryId {
+    match q {
+        NexmarkQuery::Q1 => QueryId::Q1,
+        NexmarkQuery::Q2 => QueryId::Q2,
+        NexmarkQuery::Q3 => QueryId::Q3,
+        NexmarkQuery::Q5 => QueryId::Q5,
+        NexmarkQuery::Q8 => QueryId::Q8,
+        NexmarkQuery::Q11 => QueryId::Q11,
+    }
+}
+
+fn family_config(q: NexmarkQuery) -> GeneratorConfig {
+    GeneratorConfig {
+        families: vec![ScenarioFamily::Nexmark(q)],
+        run_duration_ns: 200_000_000_000,
+        ..Default::default()
+    }
+}
+
+/// Golden shapes: for every query, the lowered topology matches the
+/// `ds2-nexmark` Flink query plan — same operator names, same edges, same
+/// main operator, and the reference parallelism equals the paper's
+/// reported optimum.
+#[test]
+fn lowered_topologies_match_the_nexmark_crate() {
+    for q in NexmarkQuery::ALL {
+        let reference = setup(query_id(q), Target::Flink);
+        let spec = ScenarioSpec::generate(1, &family_config(q));
+        let lowered = &spec.topology.graph;
+
+        let lowered_ops: BTreeSet<&str> = lowered.operators().map(|op| lowered.name(op)).collect();
+        let reference_ops: BTreeSet<&str> = reference
+            .graph
+            .operators()
+            .map(|op| reference.graph.name(op))
+            .collect();
+        assert_eq!(lowered_ops, reference_ops, "{q:?}: operator sets differ");
+        assert_eq!(lowered.len(), reference.graph.len(), "{q:?}");
+
+        let lowered_edges: BTreeSet<(String, String)> = lowered
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    lowered.name(e.from).to_string(),
+                    lowered.name(e.to).to_string(),
+                )
+            })
+            .collect();
+        let reference_edges: BTreeSet<(String, String)> = reference
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    reference.graph.name(e.from).to_string(),
+                    reference.graph.name(e.to).to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(lowered_edges, reference_edges, "{q:?}: edges differ");
+
+        assert_eq!(
+            q.main_operator_name(),
+            reference.graph.name(reference.main_operator),
+            "{q:?}: main operator differs"
+        );
+        assert_eq!(
+            q.reference_parallelism(),
+            expected_flink_parallelism(query_id(q)),
+            "{q:?}: reference parallelism off the paper's"
+        );
+        // Sources lead the creation-order id list, like every topology.
+        let n_sources = lowered.sources().len();
+        assert_eq!(&spec.topology.ids[..n_sources], lowered.sources(), "{q:?}");
+        assert_eq!(n_sources, reference.graph.sources().len(), "{q:?}");
+    }
+}
+
+/// Golden windows and skew classes: windowed queries lower to windowed
+/// mains (period drawn from the pinned per-query set, dividing the 10 s
+/// policy interval) and match the nexmark crate's windowing; keyed mains
+/// carry the hot-key class under skewed workloads, stateless ones never.
+#[test]
+fn lowered_windows_and_skew_classes_are_pinned() {
+    let expected_periods: [(NexmarkQuery, &[u64]); 6] = [
+        (NexmarkQuery::Q1, &[]),
+        (NexmarkQuery::Q2, &[]),
+        (NexmarkQuery::Q3, &[]),
+        (
+            NexmarkQuery::Q5,
+            &[1_000_000_000, 2_000_000_000, 2_500_000_000],
+        ),
+        (NexmarkQuery::Q8, &[1_000_000_000, 2_000_000_000]),
+        (
+            NexmarkQuery::Q11,
+            &[500_000_000, 1_000_000_000, 2_000_000_000],
+        ),
+    ];
+    for (q, periods) in expected_periods {
+        assert_eq!(q.window_periods(), periods, "{q:?}: period set drifted");
+        let reference = setup(query_id(q), Target::Flink);
+        let reference_windowed = matches!(
+            reference.profiles[&reference.main_operator].output,
+            OutputMode::Windowed { .. }
+        );
+        assert_eq!(q.is_windowed(), reference_windowed, "{q:?}");
+
+        for seed in 0..6 {
+            let spec = ScenarioSpec::generate(seed, &family_config(q));
+            let main = spec
+                .topology
+                .graph
+                .by_name(q.main_operator_name())
+                .expect("main operator present");
+            match spec.profiles[&main].output {
+                OutputMode::Windowed { period_ns, .. } => {
+                    assert!(q.is_windowed(), "{q:?} seed {seed}: unexpectedly windowed");
+                    assert!(periods.contains(&period_ns), "{q:?} seed {seed}");
+                    assert_eq!(10_000_000_000 % period_ns, 0, "{q:?} seed {seed}");
+                }
+                OutputMode::PerRecord { .. } => {
+                    assert!(!q.is_windowed(), "{q:?} seed {seed}: should be windowed");
+                }
+            }
+        }
+
+        // Skew classes under a hot-key workload.
+        let skew_config = GeneratorConfig {
+            families: vec![ScenarioFamily::Nexmark(q)],
+            workloads: vec![WorkloadShape::KeySkew],
+            ..Default::default()
+        };
+        let spec = ScenarioSpec::generate(2, &skew_config);
+        let main = spec.topology.graph.by_name(q.main_operator_name()).unwrap();
+        assert_eq!(
+            spec.profiles[&main].skew_hot_fraction.is_some(),
+            q.keyed_main(),
+            "{q:?}: hot-key class on the wrong operator kind"
+        );
+    }
+}
+
+/// DS2's converged parallelism on the reference scenarios is consistent
+/// with the paper's reported ordering: queries the paper provisions higher
+/// converge higher (strictly, across distinct expected values), ties stay
+/// within one instance, and every converged main lands within one instance
+/// of the paper's reported parallelism.
+#[test]
+fn ds2_convergence_is_consistent_with_expected_flink_ordering() {
+    let matrix = ScenarioMatrix::new(MatrixConfig {
+        controllers: vec![ControllerKind::Ds2],
+        generator: GeneratorConfig {
+            run_duration_ns: 200_000_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut arena = CellArena::new();
+    let mut converged = Vec::new();
+    for q in NexmarkQuery::ALL {
+        let spec = reference_spec(q, 2_000.0, 200_000_000_000);
+        let main = spec.topology.graph.by_name(q.main_operator_name()).unwrap();
+        // The analytic optimum of the reference scenario *is* the paper's
+        // reported configuration.
+        assert_eq!(
+            spec.optimal_parallelism()[&main],
+            expected_flink_parallelism(query_id(q)),
+            "{q:?}: reference optimum off the paper's parallelism"
+        );
+        let result = matrix.run_one_raw(&spec, ControllerKind::Ds2, &mut arena);
+        let p = result.final_deployment.parallelism(main);
+        let expected = expected_flink_parallelism(query_id(q));
+        assert!(
+            (p as i64 - expected as i64).abs() <= 1,
+            "{q:?}: converged {p}, paper reports {expected}"
+        );
+        converged.push((q, expected, p));
+    }
+    for &(qa, ea, pa) in &converged {
+        for &(qb, eb, pb) in &converged {
+            if ea < eb {
+                assert!(
+                    pa < pb,
+                    "{qa:?} (expected {ea}, converged {pa}) not below \
+                     {qb:?} (expected {eb}, converged {pb})"
+                );
+            } else if ea == eb {
+                assert!(
+                    (pa as i64 - pb as i64).abs() <= 1,
+                    "{qa:?}/{qb:?}: tied expectations diverged ({pa} vs {pb})"
+                );
+            }
+        }
+    }
+}

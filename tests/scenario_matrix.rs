@@ -1,37 +1,52 @@
 //! The repo's headline regression test: DS2 converges within **three
 //! scaling steps** (paper §3.4, §5.4) across a fixed-seed 5000-scenario
-//! matrix of random topologies, workloads, cost profiles and starting
-//! deployments — run through the parallel sharded engine with macro-tick
-//! fast-forward, and deterministically so: a small sequential-vs-parallel
-//! equivalence test guards that outcomes are bit-identical for any thread
-//! count, and `tests/fastforward_equivalence.rs` guards that fast-forward
-//! changes nothing.
+//! matrix mixing random synthetic dataflows with the paper's real Nexmark
+//! query dataflows (Q1/Q2/Q3/Q5/Q8/Q11, ~50/50) — run through the parallel
+//! sharded engine with macro-tick fast-forward, and deterministically so:
+//! a small sequential-vs-parallel equivalence test guards that outcomes
+//! are bit-identical for any thread count, and
+//! `tests/fastforward_equivalence.rs` guards that fast-forward changes
+//! nothing.
 //!
-//! Failures are printed as scenario seeds: regenerate any of them with
-//! `ScenarioSpec::generate(seed, &claim_generator_config())`, or drive the
-//! full closed loop on one seed with
-//! `cargo run --release -p ds2-bench --bin scenario_matrix -- --seed <seed> --scenarios 1 ds2`.
+//! Failures are printed as scenario seeds *with their family*: regenerate
+//! any of them with `ScenarioSpec::generate(seed, &claim_generator_config())`,
+//! or drive the full closed loop on one seed with
+//!
+//! ```text
+//! DS2_MATRIX_WORKLOADS=constant,step,spike,sawtooth,flash_crowd \
+//! DS2_MATRIX_DURATION_S=200 \
+//! cargo run --release -p ds2-bench --bin scenario_matrix -- \
+//!   --seed <seed> --scenarios 1 --family <family> ds2
+//! ```
+//!
+//! (the scenario body generates from the `(seed, family)` pair, so a
+//! single-family run with the same workload list and duration regenerates
+//! the cell bit-exactly — the generator's
+//! `multi_family_cells_reproduce_from_single_family_configs` test pins
+//! that).
 //!
 //! The 5000-scenario matrix is expensive, so it runs **once** (lazily,
 //! shared through a `OnceLock`) and every assertion — the three-step
-//! claim, provisioning accuracy, convergence health — reads the same
-//! report. (Before the fast-forward engine this file could only afford
-//! 1000 scenarios in the same wall-clock budget.)
+//! claim overall and per family, provisioning accuracy, convergence
+//! health — reads the same report. (Before the fast-forward engine this
+//! file could only afford 1000 scenarios in the same wall-clock budget.)
 
 use std::sync::OnceLock;
 
 use ds2::simulator::scenarios::{
-    ControllerKind, GeneratorConfig, MatrixConfig, MatrixReport, ScenarioMatrix, TopologyShape,
-    WorkloadShape,
+    ControllerKind, GeneratorConfig, MatrixConfig, MatrixReport, ScenarioFamily, ScenarioMatrix,
+    TopologyShape, WorkloadShape,
 };
 
-/// Generator settings for the convergence claim: every topology family
-/// (including multi-source ingestion), rate-reachable workloads — a hot
-/// key can make the optimal parallelism non-existent (§4.2.3) and a
-/// diurnal curve keeps moving the target, so those are measured separately
-/// below.
+/// Generator settings for the convergence claim: a 50/50 mix of synthetic
+/// scenarios (every topology family, including multi-source ingestion) and
+/// nexmark query scenarios (all six evaluated queries), over rate-reachable
+/// workloads — a hot key can make the optimal parallelism non-existent
+/// (§4.2.3) and a diurnal curve keeps moving the target, so those are
+/// measured separately below.
 fn claim_generator_config() -> GeneratorConfig {
     GeneratorConfig {
+        families: ScenarioFamily::headline_mix(),
         workloads: vec![
             WorkloadShape::Constant,
             WorkloadShape::Step,
@@ -68,14 +83,49 @@ fn ds2_converges_within_three_steps_on_95_percent() {
     let summary = report.summary(ControllerKind::Ds2);
     assert_eq!(summary.runs, 5_000);
 
-    let failing = report.failing_seeds("ds2");
     assert!(
         summary.fraction_within_three >= 0.95,
         "DS2 settled within three steps on only {}/{} scenarios.\n\
-         Reproducible failing seeds: {failing:?}\n\n{}",
+         Reproducible failing scenarios (seed + family):\n{}\n{}",
         summary.within_three_steps,
         summary.runs,
+        report.describe_failures("ds2"),
         report.render(&[ControllerKind::Ds2]),
+    );
+}
+
+/// The headline matrix includes a substantial nexmark-family slice (the
+/// paper's own workloads), and DS2 meets the three-step claim on ≥95% of
+/// it — per query family, the report carries a breakdown.
+#[test]
+fn ds2_converges_on_the_nexmark_families() {
+    let report = claim_report();
+    let nexmark: Vec<&str> = report
+        .families()
+        .into_iter()
+        .filter(|f| f.starts_with("nexmark_"))
+        .collect();
+    assert_eq!(nexmark.len(), 6, "all six queries appear: {nexmark:?}");
+
+    let mut runs = 0usize;
+    let mut within = 0usize;
+    for family in &nexmark {
+        let s = report.summary_for_family(ControllerKind::Ds2, family);
+        assert!(s.runs > 0, "{family}: empty family slice");
+        runs += s.runs;
+        within += s.within_three_steps;
+    }
+    assert!(
+        runs >= 500,
+        "only {runs} nexmark-family scenarios in the headline matrix"
+    );
+    let fraction = within as f64 / runs as f64;
+    assert!(
+        fraction >= 0.95,
+        "DS2 settled within three steps on only {within}/{runs} nexmark scenarios.\n\
+         Reproducible failing scenarios (seed + family):\n{}\n{}",
+        report.describe_failures("ds2"),
+        report.render_families(&[ControllerKind::Ds2]),
     );
 }
 
@@ -122,8 +172,9 @@ fn ds2_final_deployments_are_accurate() {
         if o.converged {
             assert!(
                 o.final_achieved_ratio >= 0.9,
-                "seed {}: converged but ratio {}",
+                "seed {} family {}: converged but ratio {}",
                 o.seed,
+                o.family,
                 o.final_achieved_ratio
             );
         }
@@ -131,8 +182,10 @@ fn ds2_final_deployments_are_accurate() {
 }
 
 /// The matrix covers every expected scenario family: all five claim
-/// workloads (including the new sawtooth and flash-crowd families) and all
-/// six topology families (including multi-source ingestion) appear.
+/// workloads (including the new sawtooth and flash-crowd families), all
+/// six topology families (including multi-source ingestion), the synthetic
+/// family and all six nexmark query families appear — and the per-family
+/// summaries partition the overall one.
 #[test]
 fn claim_matrix_covers_all_families() {
     let report = claim_report();
@@ -146,6 +199,29 @@ fn claim_matrix_covers_all_families() {
     for t in TopologyShape::ALL {
         assert!(topologies.contains(t.name()), "missing topology {:?}", t);
     }
+    let families = report.families();
+    assert!(families.contains(&"synthetic"), "{families:?}");
+    for f in ScenarioFamily::ALL_NEXMARK {
+        assert!(families.contains(&f.name()), "missing family {:?}", f);
+    }
+    // Per-family summaries partition the overall summary (the full
+    // property over random mixes lives in crates/simulator/tests).
+    let overall = report.summary(ControllerKind::Ds2);
+    let per_family: Vec<_> = families
+        .iter()
+        .map(|f| report.summary_for_family(ControllerKind::Ds2, f))
+        .collect();
+    assert_eq!(
+        per_family.iter().map(|s| s.runs).sum::<usize>(),
+        overall.runs
+    );
+    assert_eq!(
+        per_family
+            .iter()
+            .map(|s| s.within_three_steps)
+            .sum::<usize>(),
+        overall.within_three_steps
+    );
 }
 
 /// The baselines run the same matrix without panicking, and DS2 meets the
