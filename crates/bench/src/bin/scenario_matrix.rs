@@ -13,23 +13,37 @@
 //!                     failing seed with `--seed <seed> --scenarios 1`
 //!   --family F        scenario families to generate (default synthetic):
 //!                     `synthetic`, `nexmark` (all six queries),
-//!                     `nexmark_q1`/`q2`/`q3`/`q5`/`q8`/`q11`, `mixed`
+//!                     `nexmark_q1`/`q2`/`q3`/`q5`/`q8`/`q11`, `hotkey`
+//!                     (splittable hot key classes), `state_pressure`
+//!                     (state outgrowing its memory budget), `mixed`
 //!                     (synthetic + nexmark 50/50, the headline-test mix),
-//!                     or a comma-separated list of family names
+//!                     a comma-separated list of family names — or `list`,
+//!                     which prints every known family plus the per-family
+//!                     scenario counts of the configured run, then exits
 //!   --exact           disable macro-tick fast-forward: every tick is
 //!                     executed in full. The report is bit-identical to the
 //!                     default fast-forward mode (CI diffs the two); this
 //!                     is the escape hatch that proves it
 //!   --bench-json P    run the throughput baseline (1/4/8 threads with
 //!                     fast-forward, plus a 1-thread exact row — each for
-//!                     the synthetic family — and 1/4-thread nexmark-family
-//!                     rows) and write it to P as JSON, then exit
-//!   controllers       any of ds2/dhalion/threshold/queueing (default all)
+//!                     the synthetic family — 1/4-thread nexmark-family
+//!                     rows, and a 1-thread hotkey+state_pressure row under
+//!                     ds2_multidim) and write it to P as JSON, then exit
+//!   controllers       any of ds2/dhalion/threshold/queueing/ds2_multidim
+//!                     (default: ds2 + the three baselines). `ds2_multidim`
+//!                     runs DS2 on the multi-dimensional resource model:
+//!                     key-class split detection plus the scenario's
+//!                     per-instance state budget
 //! ```
 //!
 //! With more than one family in play the per-family breakdown table is
 //! printed after the overall table (both deterministic across thread
-//! counts; CI diffs them).
+//! counts; CI diffs them). When `ds2_multidim` is among the controllers,
+//! both tables grow two per-dimension resource columns: `inst_hrs` — mean
+//! non-source instance-hours per run (the parallelism bill) — and
+//! `state_hrs` — mean instance-hours held by budgeted stateful operators
+//! (the state bill). Parallelism-only reports render byte-identically to
+//! the classic format.
 //!
 //! The report table goes to stdout; timing and progress go to stderr, so
 //! two runs with different `--threads` can be `diff`ed directly (CI does).
@@ -41,17 +55,59 @@
 use std::time::Instant;
 
 use ds2_simulator::scenarios::{
-    ControllerKind, MatrixConfig, ScenarioFamily, ScenarioMatrix, WorkloadShape,
+    ControllerKind, MatrixConfig, ScenarioFamily, ScenarioMatrix, ScenarioSpec, WorkloadShape,
 };
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: scenario_matrix [--scenarios N] [--threads N] [--seed S] \
-         [--family synthetic|nexmark|nexmark_qN|mixed] [--exact] \
-         [--bench-json PATH] [ds2|dhalion|threshold|queueing ...]"
+         [--family synthetic|nexmark|nexmark_qN|hotkey|state_pressure|mixed|list] \
+         [--exact] [--bench-json PATH] \
+         [ds2|dhalion|threshold|queueing|ds2_multidim ...]"
     );
     std::process::exit(2);
+}
+
+/// Every family the generator knows, in report order.
+fn known_families() -> Vec<ScenarioFamily> {
+    let mut all = vec![ScenarioFamily::Synthetic];
+    all.extend(ScenarioFamily::ALL_NEXMARK);
+    all.push(ScenarioFamily::HotKey);
+    all.push(ScenarioFamily::StatePressure);
+    all
+}
+
+/// `--family list`: prints every known family name and the per-family
+/// scenario counts the configured run would draw (scenario `i` draws its
+/// family from seed `base_seed + i`, so the counts are exact, not
+/// probabilistic), then exits.
+fn list_families(config: &MatrixConfig) -> ! {
+    println!("known families:");
+    for family in known_families() {
+        println!("  {}", family.name());
+    }
+    println!(
+        "\nconfigured run ({} scenarios, base seed {:#x}, families {}):",
+        config.scenarios,
+        config.base_seed,
+        config
+            .generator
+            .families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for i in 0..config.scenarios {
+        let spec = ScenarioSpec::generate(config.base_seed + i as u64, &config.generator);
+        *counts.entry(spec.family.name()).or_default() += 1;
+    }
+    for (name, count) in counts {
+        println!("  {name:<14} {count}");
+    }
+    std::process::exit(0);
 }
 
 /// Parses a `--family` value: a preset (`synthetic`, `nexmark`, `mixed`)
@@ -90,6 +146,7 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut fast_forward = true;
     let mut families: Option<Vec<ScenarioFamily>> = None;
+    let mut list_requested = false;
     let mut controllers: Vec<ControllerKind> = Vec::new();
 
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
@@ -100,7 +157,11 @@ fn main() {
             "--seed" => seed = Some(parse_flag(&mut args, "--seed")),
             "--family" => {
                 let value: String = parse_flag(&mut args, "--family");
-                families = Some(parse_families(&value));
+                if value == "list" {
+                    list_requested = true;
+                } else {
+                    families = Some(parse_families(&value));
+                }
             }
             "--exact" => fast_forward = false,
             "--bench-json" => bench_json = args.next().or_else(|| usage_exit("--bench-json")),
@@ -108,6 +169,7 @@ fn main() {
             "dhalion" => controllers.push(ControllerKind::Dhalion),
             "threshold" => controllers.push(ControllerKind::Threshold),
             "queueing" => controllers.push(ControllerKind::Queueing),
+            "ds2_multidim" => controllers.push(ControllerKind::Ds2MultiDim),
             other => {
                 // Back-compat: a bare number is the scenario count.
                 match other.parse::<usize>() {
@@ -158,6 +220,10 @@ fn main() {
         .and_then(|s| s.parse::<u64>().ok())
     {
         config.generator.run_duration_ns = secs * 1_000_000_000;
+    }
+
+    if list_requested {
+        list_families(&config);
     }
 
     if let Some(path) = bench_json {
@@ -222,36 +288,77 @@ fn main() {
 /// Measures matrix throughput (scenarios/second) per scenario family at
 /// the standard thread counts — the synthetic family at 1/4/8 threads with
 /// fast-forward plus a 1-thread `--exact` row quantifying the macro-tick
-/// speedup, and the nexmark family (all six queries, mostly windowed and
-/// therefore tick-by-tick) at 1/4 threads — writing one JSON entry per
-/// configuration so the committed baseline captures single-thread
-/// data-plane speed, parallel scaling, the fast-forward ratio and the
-/// real-query-dataflow cost. Thread counts beyond the host's CPUs still
-/// run (the sharded queue over-subscribes harmlessly); the `threads` field
-/// records the configuration, `cpus` the host, so readers can judge
-/// comparability.
+/// speedup, the nexmark family (all six queries, mostly windowed and
+/// therefore tick-by-tick) at 1/4 threads, and the multi-dimensional
+/// stress families (hotkey + state_pressure under the `ds2_multidim`
+/// controller, exercising class splits and spill accounting) at 1 thread
+/// — writing one JSON entry per configuration so the committed baseline
+/// captures single-thread data-plane speed, parallel scaling, the
+/// fast-forward ratio, the real-query-dataflow cost and the multi-dim
+/// overhead. Thread counts beyond the host's CPUs still run (the sharded
+/// queue over-subscribes harmlessly); the `threads` field records the
+/// configuration, `cpus` the host, so readers can judge comparability.
 fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let scenarios = base.scenarios.clamp(8, 64);
     let mut entries = Vec::new();
-    // (family-suffix, families, threads, fast_forward): the synthetic rows
-    // keep their historical names (no suffix) so the CI bench_guard gate
-    // and baseline trajectories stay comparable across PRs.
-    let runs: [(&str, Vec<ScenarioFamily>, usize, bool); 6] = [
-        ("", vec![ScenarioFamily::Synthetic], 1, true),
-        ("", vec![ScenarioFamily::Synthetic], 4, true),
-        ("", vec![ScenarioFamily::Synthetic], 8, true),
-        ("", vec![ScenarioFamily::Synthetic], 1, false),
-        ("_nexmark", ScenarioFamily::ALL_NEXMARK.to_vec(), 1, true),
-        ("_nexmark", ScenarioFamily::ALL_NEXMARK.to_vec(), 4, true),
+    // (family-suffix, families, threads, fast_forward, controller): the
+    // synthetic rows keep their historical names (no suffix) so the CI
+    // bench_guard gate and baseline trajectories stay comparable across
+    // PRs.
+    let stress = vec![ScenarioFamily::HotKey, ScenarioFamily::StatePressure];
+    let runs: [(&str, Vec<ScenarioFamily>, usize, bool, ControllerKind); 7] = [
+        (
+            "",
+            vec![ScenarioFamily::Synthetic],
+            1,
+            true,
+            ControllerKind::Ds2,
+        ),
+        (
+            "",
+            vec![ScenarioFamily::Synthetic],
+            4,
+            true,
+            ControllerKind::Ds2,
+        ),
+        (
+            "",
+            vec![ScenarioFamily::Synthetic],
+            8,
+            true,
+            ControllerKind::Ds2,
+        ),
+        (
+            "",
+            vec![ScenarioFamily::Synthetic],
+            1,
+            false,
+            ControllerKind::Ds2,
+        ),
+        (
+            "_nexmark",
+            ScenarioFamily::ALL_NEXMARK.to_vec(),
+            1,
+            true,
+            ControllerKind::Ds2,
+        ),
+        (
+            "_nexmark",
+            ScenarioFamily::ALL_NEXMARK.to_vec(),
+            4,
+            true,
+            ControllerKind::Ds2,
+        ),
+        ("_multidim", stress, 1, true, ControllerKind::Ds2MultiDim),
     ];
-    for (family_suffix, families, threads, fast_forward) in runs {
+    for (family_suffix, families, threads, fast_forward, controller) in runs {
         let mut config = MatrixConfig {
             scenarios,
             threads,
-            controllers: vec![ControllerKind::Ds2],
+            controllers: vec![controller],
             fast_forward,
             ..base.clone()
         };

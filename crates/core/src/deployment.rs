@@ -1,4 +1,12 @@
-//! Physical deployments: the parallelism assigned to each logical operator.
+//! Physical deployments: the resources assigned to each logical operator.
+//!
+//! Historically a deployment was a bare parallelism per operator. The
+//! multi-dimensional resource model generalizes it to a
+//! [`ResourceAlloc`] — `(parallelism, key_classes, state_budget)` — while
+//! keeping the parallelism axis primary: every existing call site that only
+//! reads [`Deployment::parallelism`] sees exactly the view it always did,
+//! and the extra axes default to "off" (`key_classes = 1`,
+//! `state_budget = ∞`), in which case nothing anywhere behaves differently.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -6,18 +14,64 @@ use std::fmt;
 use crate::error::Ds2Error;
 use crate::graph::{LogicalGraph, OperatorId};
 
-/// A physical execution plan: number of instances per logical operator.
+/// The full resource allocation of one operator: the multi-dimensional
+/// generalization of a bare parallelism.
+///
+/// * `parallelism` — instance count, the DS2 §3 axis.
+/// * `key_classes` — how many instances the operator's hottest key class is
+///   spread over. `1` (the default) is classic hash partitioning: the
+///   hottest key lands on a single instance. Splitting the hot class over
+///   `s > 1` instances caps any instance's input share at `hot/s`, which is
+///   the only remedy when no parallelism can absorb the hot share.
+/// * `state_budget` — per-instance state budget in bytes
+///   ([`f64::INFINITY`] = unbudgeted). Operators whose per-instance state
+///   exceeds it spill, multiplying their per-record cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceAlloc {
+    /// Number of parallel instances.
+    pub parallelism: usize,
+    /// Instances the hottest key class is split across (≥ 1).
+    pub key_classes: usize,
+    /// Per-instance state budget in bytes (∞ = unbudgeted).
+    pub state_budget: f64,
+}
+
+impl ResourceAlloc {
+    /// The single-dimension allocation: `p` instances, no class split, no
+    /// state budget — behaviorally identical to the pre-refactor model.
+    pub fn parallelism_only(p: usize) -> Self {
+        Self {
+            parallelism: p,
+            key_classes: 1,
+            state_budget: f64::INFINITY,
+        }
+    }
+
+    /// Whether the allocation uses any axis beyond parallelism.
+    pub fn is_multi_dim(&self) -> bool {
+        self.key_classes > 1 || self.state_budget.is_finite()
+    }
+}
+
+/// A physical execution plan: the [`ResourceAlloc`] of every logical
+/// operator.
 ///
 /// This is the quantity DS2 controls. A deployment is valid for a graph when
 /// it assigns at least one instance to every operator.
 ///
-/// Storage is a dense `Vec<usize>` indexed by [`OperatorId::index`] — a
+/// Storage is dense `Vec`s indexed by [`OperatorId::index`] — a
 /// parallelism of `0` means "unassigned" (operators never legally run zero
 /// instances), so lookups on the policy/simulator hot paths are plain index
-/// arithmetic instead of `BTreeMap` pointer chasing.
+/// arithmetic instead of `BTreeMap` pointer chasing. The `key_classes` and
+/// `state_budget` vectors stay empty until someone sets a non-default
+/// value, so parallelism-only plans cost exactly what they used to.
 #[derive(Debug, Clone, Default)]
 pub struct Deployment {
     parallelism: Vec<usize>,
+    /// Key-class split per operator; `0` or missing means the default (1).
+    key_classes: Vec<u32>,
+    /// Per-instance state budget per operator; missing means ∞.
+    state_budget: Vec<f64>,
 }
 
 impl Deployment {
@@ -25,6 +79,8 @@ impl Deployment {
     pub fn uniform(graph: &LogicalGraph, p: usize) -> Self {
         Self {
             parallelism: vec![p.max(1); graph.len()],
+            key_classes: Vec::new(),
+            state_budget: Vec::new(),
         }
     }
 
@@ -32,6 +88,8 @@ impl Deployment {
     pub fn with_len(n: usize) -> Self {
         Self {
             parallelism: vec![0; n],
+            key_classes: Vec::new(),
+            state_budget: Vec::new(),
         }
     }
 
@@ -73,6 +131,90 @@ impl Deployment {
         self.parallelism[i] = p;
     }
 
+    /// Key-class split of one operator (always ≥ 1; defaults to 1 — the
+    /// hottest key class lands on a single instance).
+    #[inline]
+    pub fn key_classes(&self, op: OperatorId) -> usize {
+        match self.key_classes.get(op.index()) {
+            Some(&s) if s > 1 => s as usize,
+            _ => 1,
+        }
+    }
+
+    /// Sets the key-class split of one operator. Values ≤ 1 restore the
+    /// default.
+    pub fn set_key_classes(&mut self, op: OperatorId, s: usize) {
+        let i = op.index();
+        if s <= 1 && i >= self.key_classes.len() {
+            return; // already the default
+        }
+        if i >= self.key_classes.len() {
+            self.key_classes.resize(i + 1, 0);
+        }
+        self.key_classes[i] = if s <= 1 {
+            0
+        } else {
+            s.min(u32::MAX as usize) as u32
+        };
+    }
+
+    /// Per-instance state budget of one operator in bytes (∞ when
+    /// unbudgeted).
+    #[inline]
+    pub fn state_budget(&self, op: OperatorId) -> f64 {
+        match self.state_budget.get(op.index()) {
+            Some(&b) if b.is_finite() && b > 0.0 => b,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Sets the per-instance state budget of one operator. Non-finite or
+    /// non-positive values restore the default (unbudgeted).
+    pub fn set_state_budget(&mut self, op: OperatorId, bytes: f64) {
+        let i = op.index();
+        let default = !bytes.is_finite() || bytes <= 0.0;
+        if default && i >= self.state_budget.len() {
+            return;
+        }
+        if i >= self.state_budget.len() {
+            self.state_budget.resize(i + 1, f64::INFINITY);
+        }
+        self.state_budget[i] = if default { f64::INFINITY } else { bytes };
+    }
+
+    /// The full resource allocation of one operator.
+    pub fn alloc(&self, op: OperatorId) -> ResourceAlloc {
+        ResourceAlloc {
+            parallelism: self.parallelism(op),
+            key_classes: self.key_classes(op),
+            state_budget: self.state_budget(op),
+        }
+    }
+
+    /// Sets the full resource allocation of one operator.
+    pub fn set_alloc(&mut self, op: OperatorId, alloc: ResourceAlloc) {
+        self.set(op, alloc.parallelism);
+        self.set_key_classes(op, alloc.key_classes);
+        self.set_state_budget(op, alloc.state_budget);
+    }
+
+    /// Whether the two plans differ on the key-class axis anywhere — the
+    /// significance signal for class-split rescales, which may leave every
+    /// parallelism unchanged.
+    pub fn classes_differ(&self, other: &Deployment) -> bool {
+        let n = self.key_classes.len().max(other.key_classes.len());
+        (0..n).any(|i| {
+            let op = OperatorId(i);
+            self.key_classes(op) != other.key_classes(op)
+        })
+    }
+
+    /// Whether any operator uses an axis beyond parallelism.
+    pub fn is_multi_dim(&self) -> bool {
+        self.key_classes.iter().any(|&s| s > 1)
+            || self.state_budget.iter().any(|b| b.is_finite() && *b > 0.0)
+    }
+
     /// Resets every assignment to "unassigned" and pins the slot count to
     /// `n`, reusing the existing allocation — the [`PolicyWorkspace`]
     /// clearing path.
@@ -81,6 +223,8 @@ impl Deployment {
     pub fn reset(&mut self, n: usize) {
         self.parallelism.clear();
         self.parallelism.resize(n, 0);
+        self.key_classes.clear();
+        self.state_budget.clear();
     }
 
     /// Iterates over assigned `(operator, parallelism)` pairs in id order.
@@ -116,15 +260,24 @@ impl Deployment {
     }
 }
 
-/// Two deployments are equal when they assign the same parallelism to the
-/// same operators — trailing unassigned slots are ignored, so plans built
-/// for the same graph through different code paths compare equal.
+/// Two deployments are equal when they assign the same resource allocation
+/// to the same operators — trailing/missing default slots are ignored, so
+/// plans built for the same graph through different code paths compare
+/// equal, and a plan that only changes an operator's key-class split or
+/// state budget compares *unequal* (it is a real rescale).
 impl PartialEq for Deployment {
     fn eq(&self, other: &Self) -> bool {
-        let n = self.parallelism.len().max(other.parallelism.len());
+        let n = self
+            .parallelism
+            .len()
+            .max(other.parallelism.len())
+            .max(self.key_classes.len().max(other.key_classes.len()))
+            .max(self.state_budget.len().max(other.state_budget.len()));
         (0..n).all(|i| {
-            self.parallelism.get(i).copied().unwrap_or(0)
-                == other.parallelism.get(i).copied().unwrap_or(0)
+            let op = OperatorId(i);
+            self.parallelism(op) == other.parallelism(op)
+                && self.key_classes(op) == other.key_classes(op)
+                && self.state_budget(op).to_bits() == other.state_budget(op).to_bits()
         })
     }
 }
@@ -139,6 +292,10 @@ impl fmt::Display for Deployment {
                 write!(f, ", ")?;
             }
             write!(f, "{op}:{p}")?;
+            let s = self.key_classes(op);
+            if s > 1 {
+                write!(f, "×{s}")?;
+            }
         }
         write!(f, "}}")
     }
@@ -224,5 +381,74 @@ mod tests {
     fn display_lists_assignments() {
         let d = Deployment::from_map([(OperatorId(0), 2), (OperatorId(1), 3)].into());
         assert_eq!(d.to_string(), "{op0:2, op1:3}");
+    }
+
+    #[test]
+    fn default_alloc_is_parallelism_only() {
+        let d = Deployment::from_map([(OperatorId(0), 3)].into());
+        let a = d.alloc(OperatorId(0));
+        assert_eq!(a, ResourceAlloc::parallelism_only(3));
+        assert!(!a.is_multi_dim());
+        assert!(!d.is_multi_dim());
+        assert_eq!(d.key_classes(OperatorId(0)), 1);
+        assert_eq!(d.state_budget(OperatorId(0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn class_only_changes_are_unequal_but_parallelism_view_is_lossless() {
+        let base = Deployment::from_map([(OperatorId(0), 2), (OperatorId(1), 4)].into());
+        let mut split = base.clone();
+        split.set_key_classes(OperatorId(1), 2);
+        // The parallelism view is unchanged...
+        assert_eq!(split.parallelism(OperatorId(1)), 4);
+        assert_eq!(split.max_delta(&base), 0);
+        // ...but the plans are distinguishable (a split is a real rescale).
+        assert_ne!(base, split);
+        assert!(split.classes_differ(&base));
+        assert!(split.is_multi_dim());
+        assert_eq!(split.alloc(OperatorId(1)).key_classes, 2);
+        assert_eq!(split.to_string(), "{op0:2, op1:4×2}");
+    }
+
+    #[test]
+    fn default_axes_compare_equal_across_representations() {
+        let plain = Deployment::from_map([(OperatorId(0), 2)].into());
+        let mut explicit = plain.clone();
+        // Setting defaults explicitly must not make the plans unequal.
+        explicit.set_key_classes(OperatorId(0), 1);
+        explicit.set_state_budget(OperatorId(0), f64::INFINITY);
+        assert_eq!(plain, explicit);
+        assert!(!plain.classes_differ(&explicit));
+        // A split set and then reverted is the default again.
+        explicit.set_key_classes(OperatorId(0), 3);
+        assert_ne!(plain, explicit);
+        explicit.set_key_classes(OperatorId(0), 1);
+        assert_eq!(plain, explicit);
+    }
+
+    #[test]
+    fn state_budget_round_trips_and_resets() {
+        let mut d = Deployment::from_map([(OperatorId(0), 2)].into());
+        d.set_state_budget(OperatorId(0), 1e9);
+        assert_eq!(d.state_budget(OperatorId(0)), 1e9);
+        assert!(d.is_multi_dim());
+        let other = Deployment::from_map([(OperatorId(0), 2)].into());
+        assert_ne!(d, other);
+        d.reset(1);
+        assert_eq!(d.state_budget(OperatorId(0)), f64::INFINITY);
+        assert!(!d.is_multi_dim());
+    }
+
+    #[test]
+    fn set_alloc_round_trips() {
+        let mut d = Deployment::with_len(2);
+        let alloc = ResourceAlloc {
+            parallelism: 6,
+            key_classes: 3,
+            state_budget: 5e8,
+        };
+        d.set_alloc(OperatorId(1), alloc);
+        assert_eq!(d.alloc(OperatorId(1)), alloc);
+        assert_eq!(d.parallelism(OperatorId(1)), 6);
     }
 }

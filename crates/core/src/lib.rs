@@ -74,13 +74,13 @@ pub mod snapshot;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::controller::{ControllerVerdict, ScalingController};
-    pub use crate::deployment::Deployment;
+    pub use crate::deployment::{Deployment, ResourceAlloc};
     pub use crate::error::Ds2Error;
     pub use crate::graph::{Edge, GraphBuilder, LogicalGraph, OperatorId};
     pub use crate::manager::{ActivationCombine, ManagerConfig, ScalingManager};
     pub use crate::opmap::{OpMap, OpSet};
     pub use crate::policy::{
-        Ds2Policy, OperatorEstimate, PolicyConfig, PolicyOutput, PolicyWorkspace,
+        Ds2Policy, OperatorEstimate, PolicyConfig, PolicyOutput, PolicyWorkspace, SplitHint,
     };
     pub use crate::rates::{InstanceMetrics, OperatorMetrics};
     pub use crate::snapshot::MetricsSnapshot;

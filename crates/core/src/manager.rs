@@ -83,6 +83,13 @@ pub struct ManagerConfig {
     /// rollback check is skipped (the degradation is explained by the load,
     /// not the deploy).
     pub rollback_load_shift_tolerance: f64,
+    /// Per-instance state budget in bytes, the state axis of the resource
+    /// model. When finite, operators whose reported state exceeds the
+    /// budget get a parallelism *floor* of `ceil(total_state / budget)` —
+    /// enough instances that each holds at most a budget's worth of state —
+    /// layered on top of the rate-driven Eq. 7 prescription. `∞` (default)
+    /// disables the axis entirely.
+    pub state_budget_per_instance: f64,
     /// Underlying policy knobs (min/max parallelism, source scaling).
     pub policy: PolicyConfig,
 }
@@ -102,6 +109,7 @@ impl Default for ManagerConfig {
             degradation_tolerance: 0.1,
             rollback_ban_intervals: 3,
             rollback_load_shift_tolerance: 0.1,
+            state_budget_per_instance: f64::INFINITY,
             policy: PolicyConfig::default(),
         }
     }
@@ -293,6 +301,71 @@ impl ScalingManager {
         self.combine_values = values;
         combined
     }
+
+    /// Folds the non-parallelism axes into a freshly combined plan.
+    ///
+    /// [`ScalingManager::combine_pending`] only writes the parallelism
+    /// vector, so first carry the current class splits and budgets forward
+    /// (a rescale must not silently merge a hot class back together). Then
+    /// turn this window's [`SplitHint`]s into class-split deployments —
+    /// multiplying the operator's current split, capped at its parallelism
+    /// and at 64 classes — and raise any stateful operator's parallelism to
+    /// the floor its reported state demands under the configured budget.
+    ///
+    /// With split detection off and no budget configured this reduces to
+    /// copying defaults onto defaults: the combined plan is bitwise what the
+    /// parallelism-only manager produced.
+    ///
+    /// Returns whether the state floor pushed some operator above its
+    /// *current* parallelism — a budget violation in the running deployment,
+    /// which must never be suppressed as a minor change.
+    ///
+    /// [`SplitHint`]: crate::policy::SplitHint
+    fn apply_multi_dim(
+        &self,
+        combined: &mut Deployment,
+        current: &Deployment,
+        snapshot: &MetricsSnapshot,
+    ) -> bool {
+        for op in self.graph.operators() {
+            let mut alloc = current.alloc(op);
+            alloc.parallelism = combined.parallelism(op);
+            combined.set_alloc(op, alloc);
+        }
+        for hint in &self.workspace.output().splits {
+            let p = combined.parallelism(hint.op).max(1);
+            let cur = current.key_classes(hint.op);
+            let new = cur.saturating_mul(hint.classes).min(p).min(64);
+            if new > cur {
+                combined.set_key_classes(hint.op, new);
+            }
+        }
+        let mut floor_binding = false;
+        let budget = self.config.state_budget_per_instance;
+        if budget.is_finite() && budget > 0.0 {
+            for op in self.graph.operators() {
+                if self.graph.is_source(op) {
+                    continue;
+                }
+                if let Some(per_instance) = snapshot.state_bytes(op) {
+                    let total = per_instance * current.parallelism(op).max(1) as f64;
+                    let floor = ((total / budget) - 1e-9).ceil().max(1.0) as usize;
+                    let floor = match self.config.policy.max_parallelism {
+                        Some(max) => floor.min(max),
+                        None => floor,
+                    };
+                    if floor > combined.parallelism(op) {
+                        combined.set(op, floor);
+                    }
+                    if floor > current.parallelism(op) {
+                        floor_binding = true;
+                    }
+                    combined.set_state_budget(op, budget);
+                }
+            }
+        }
+        floor_binding
+    }
 }
 
 impl ScalingController for ScalingManager {
@@ -468,7 +541,8 @@ impl ScalingController for ScalingManager {
         let mut acted = false;
         let mut verdict = ControllerVerdict::NoAction;
         if self.pending.len() == self.config.activation_intervals.max(1) as usize {
-            let combined = self.combine_pending();
+            let mut combined = self.combine_pending();
+            let floor_binding = self.apply_multi_dim(&mut combined, current, snapshot);
             let delta = combined.max_delta(current);
             // A plan that only removes instances cannot fix a rate
             // shortfall: while the job is behind target such a plan is
@@ -479,7 +553,15 @@ impl ScalingController for ScalingManager {
                     .graph
                     .operators()
                     .all(|op| combined.parallelism(op) <= current.parallelism(op));
-            let significant = (delta > self.config.min_change || (!keeping_up && delta > 0))
+            // A class split may leave every parallelism unchanged; it is
+            // still a real deployment change (the hot class stops pinning
+            // one instance), so it counts as significant on its own — as
+            // does a binding state floor, which marks a budget violation in
+            // the deployment that is running right now.
+            let significant = (delta > self.config.min_change
+                || (!keeping_up && delta > 0)
+                || combined.classes_differ(current)
+                || floor_binding)
                 && (keeping_up || !pure_scale_down);
             let budget_ok = self
                 .config
@@ -822,5 +904,137 @@ mod tests {
         let v = mgr.on_metrics(0, &snap, &current);
         assert!(!v.is_rescale());
         assert!(mgr.history().last().unwrap().plan.is_none());
+    }
+
+    /// src(1000/s) -> op at p=4, each op instance fully utilized at
+    /// 250/s capacity, with one instance pulling 70% of the input: the
+    /// Eq. 7 plan is unchanged (delta 0) but the hot class pins an
+    /// instance, so the split hint must drive a class-split rescale.
+    fn skewed_op_setup() -> (
+        LogicalGraph,
+        OperatorId,
+        OperatorId,
+        Deployment,
+        MetricsSnapshot,
+    ) {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut current = Deployment::uniform(&g, 1);
+        current.set(o, 4);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, 1000.0);
+        snap.insert_instances(s, vec![inst(2000.0, 1.0, 0.5)]);
+        let mk = |records_in: u64| InstanceMetrics {
+            records_in,
+            records_out: records_in,
+            useful_ns: 1_000_000_000,
+            window_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        snap.insert_instances(o, vec![mk(700), mk(100), mk(100), mk(100)]);
+        (g, s, o, current, snap)
+    }
+
+    #[test]
+    fn split_hint_drives_class_split_rescale() {
+        let (g, _s, o, current, snap) = skewed_op_setup();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                policy: PolicyConfig {
+                    detect_splits: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("class split must be significant");
+        // Parallelism untouched; the hot class spreads over ceil(700/250)=3.
+        assert_eq!(plan.parallelism(o), 4);
+        assert_eq!(plan.key_classes(o), 3);
+        assert!(plan.classes_differ(&current));
+    }
+
+    #[test]
+    fn split_detection_off_leaves_skewed_plan_alone() {
+        let (g, _s, _o, current, snap) = skewed_op_setup();
+        let mut mgr = ScalingManager::new(g, ManagerConfig::default());
+        let v = mgr.on_metrics(0, &snap, &current);
+        assert!(!v.is_rescale(), "parallelism-only manager sees delta 0");
+    }
+
+    #[test]
+    fn rollback_restores_class_splits() {
+        let (g, s, o, mut current, snap) = skewed_op_setup();
+        // The running deployment already carries a split; a later rescale
+        // that degrades performance must roll back to it, split included.
+        current.set_key_classes(o, 2);
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                min_change: 0,
+                ..Default::default()
+            },
+        );
+        // Push the offered rate up so the policy wants more instances.
+        let mut snap2 = snap.clone();
+        snap2.set_source_rate(s, 2000.0);
+        let v = mgr.on_metrics(0, &snap2, &current);
+        let plan = v.rescale().expect("must scale up").clone();
+        assert_eq!(plan.key_classes(o), 2, "split carried into new plan");
+        mgr.on_deployed(1, &plan);
+        // Achieved collapses post-deploy at unchanged offered load: rollback.
+        let mut degraded = snap2.clone();
+        degraded.insert_instances(s, vec![inst(800.0, 1.0, 0.5)]);
+        let v2 = mgr.on_metrics(2, &degraded, &plan);
+        let back = v2.rescale().expect("must roll back");
+        assert_eq!(back, &current, "rollback restores the full allocation");
+        assert_eq!(back.key_classes(o), 2);
+    }
+
+    #[test]
+    fn state_floor_raises_parallelism_and_records_budget() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut current = Deployment::uniform(&g, 1);
+        current.set(o, 2);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(s, 400.0);
+        snap.insert_instances(s, vec![inst(800.0, 1.0, 0.5)]);
+        // Rate-wise 2 instances suffice (200/s capacity each)…
+        snap.insert_instances(o, vec![inst(200.0, 1.0, 1.0); 2]);
+        // …but 6e8 bytes of state per instance breaks a 4e8 budget:
+        // total 1.2e9 / 4e8 -> floor of 3 instances.
+        snap.set_state_bytes(o, 6e8);
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                state_budget_per_instance: 4e8,
+                ..Default::default()
+            },
+        );
+        let v = mgr.on_metrics(0, &snap, &current);
+        let plan = v.rescale().expect("binding state floor must act");
+        assert_eq!(plan.parallelism(o), 3);
+        assert_eq!(plan.state_budget(o), 4e8);
+    }
+
+    #[test]
+    fn unbudgeted_state_report_changes_nothing() {
+        let (g, _s, _o, current, snap) = skewed_op_setup();
+        let mut with_state = snap.clone();
+        with_state.set_state_bytes(OperatorId(1), 1e12);
+        let mut a = ScalingManager::new(g.clone(), ManagerConfig::default());
+        let mut b = ScalingManager::new(g, ManagerConfig::default());
+        let va = a.on_metrics(0, &snap, &current);
+        let vb = b.on_metrics(0, &with_state, &current);
+        assert!(!va.is_rescale() && !vb.is_rescale());
     }
 }

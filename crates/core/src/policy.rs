@@ -56,6 +56,13 @@ pub struct PolicyConfig {
     /// also bump healthy ones whose requirement merely sits close to a
     /// ceiling boundary.
     pub boost_unaccounted_threshold: Option<f64>,
+    /// Per-class true-rate pass: when enabled, the policy inspects the
+    /// per-instance input shares of every loaded operator and emits a
+    /// [`SplitHint`] when the hottest instance's share exceeds what *any*
+    /// parallelism can absorb — the hot-key failure mode where Eq. 7 keeps
+    /// prescribing more instances while the hot share pins one of them.
+    /// Default off: the classic parallelism-only policy.
+    pub detect_splits: bool,
 }
 
 impl Default for PolicyConfig {
@@ -66,8 +73,25 @@ impl Default for PolicyConfig {
             scale_sources: false,
             requirement_boost: 1.0,
             boost_unaccounted_threshold: Some(0.05),
+            detect_splits: false,
         }
     }
+}
+
+/// A policy recommendation to split an operator's hottest key class across
+/// multiple instances — emitted (when [`PolicyConfig::detect_splits`] is
+/// on) for operators whose hot-instance input share exceeds the
+/// per-instance capacity at the target rate: a situation no parallelism
+/// change can fix, only spreading the hot class can.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitHint {
+    /// The operator whose hot class should split.
+    pub op: OperatorId,
+    /// Instances the hot class must be spread over so its per-instance
+    /// rate fits the measured capacity: `ceil(hot_share × rt / capacity)`.
+    pub classes: usize,
+    /// The hottest instance's measured input share.
+    pub hot_share: f64,
 }
 
 /// Per-operator diagnostic detail accompanying a policy decision.
@@ -94,6 +118,9 @@ pub struct PolicyOutput {
     pub plan: Deployment,
     /// Per-operator estimates, densely indexed by operator id.
     pub estimates: OpMap<OperatorEstimate>,
+    /// Hot-class split recommendations, in topological order. Always empty
+    /// unless [`PolicyConfig::detect_splits`] is enabled.
+    pub splits: Vec<SplitHint>,
 }
 
 impl PolicyOutput {
@@ -148,6 +175,7 @@ impl PolicyWorkspace {
         self.out.plan.reset(n);
         self.out.estimates.clear();
         self.out.estimates.grow(n);
+        self.out.splits.clear();
     }
 
     /// The result of the most recent evaluation.
@@ -364,6 +392,36 @@ impl Ds2Policy {
                 },
             );
             ws.out.plan.set(op, parallelism);
+
+            // Per-class pass (multi-dimensional model): when the hottest
+            // instance's input share is both clearly skewed and, at the
+            // target rate, above what one instance can truly process, no
+            // parallelism prescribed by Eq. 7 will relieve that instance —
+            // the hot key class itself must be spread. Emit a hint sized so
+            // the hot class's per-instance rate fits the measured capacity.
+            if self.config.detect_splits && p > 1 {
+                let total_in: u64 = metrics.instances.iter().map(|i| i.records_in).sum();
+                let hot_in = metrics
+                    .instances
+                    .iter()
+                    .map(|i| i.records_in)
+                    .max()
+                    .unwrap_or(0);
+                if total_in > 0 {
+                    let hot_share = hot_in as f64 / total_in as f64;
+                    let hot_rate = hot_share * target_rate;
+                    if hot_share > 1.5 / p as f64 && hot_rate > capacity_per_instance {
+                        let classes = ((hot_rate / capacity_per_instance) - CEIL_EPSILON)
+                            .ceil()
+                            .max(2.0) as usize;
+                        ws.out.splits.push(SplitHint {
+                            op,
+                            classes,
+                            hot_share,
+                        });
+                    }
+                }
+            }
         }
 
         Ok(&ws.out)
@@ -862,5 +920,112 @@ mod tests {
             .unwrap();
         // a needs 2, b needs 4 -> 6 total workers.
         assert_eq!(out.timely_total_workers(&g), 6);
+    }
+
+    /// src(1000/s) -> op at p=4 with one instance pulling `hot_in` of the
+    /// 1000 records seen this window; all instances run fully utilized so
+    /// per-instance capacity is 250/s.
+    fn skewed_setup(hot_in: u64) -> (LogicalGraph, MetricsSnapshot, Deployment, OperatorId) {
+        let mut b = GraphBuilder::new();
+        let src = b.operator("src");
+        let op = b.operator("op");
+        b.connect(src, op);
+        let g = b.build().unwrap();
+        let mut snap = MetricsSnapshot::new();
+        snap.set_source_rate(src, 1000.0);
+        snap.insert_instances(src, vec![inst(1000.0, 1.0, 0.5)]);
+        let cold = (1000 - hot_in) / 3;
+        let mk = |records_in: u64| InstanceMetrics {
+            records_in,
+            records_out: records_in,
+            useful_ns: 1_000_000_000,
+            window_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        snap.insert_instances(op, vec![mk(hot_in), mk(cold), mk(cold), mk(cold)]);
+        let mut current = Deployment::uniform(&g, 1);
+        current.set(op, 4);
+        (g, snap, current, op)
+    }
+
+    #[test]
+    fn split_hint_fires_on_hot_instance() {
+        let (g, snap, current, op) = skewed_setup(700);
+        let policy = Ds2Policy::with_config(PolicyConfig {
+            detect_splits: true,
+            ..Default::default()
+        });
+        let out = policy.evaluate(&g, &snap, &current).unwrap();
+        // hot_share 0.7 > 1.5/4 and hot rate 700/s > 250/s capacity:
+        // the hot class must spread over ceil(700/250) = 3 instances.
+        assert_eq!(out.splits.len(), 1);
+        let hint = out.splits[0];
+        assert_eq!(hint.op, op);
+        assert_eq!(hint.classes, 3);
+        assert!((hint.hot_share - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_hint_off_by_default_and_plan_unchanged() {
+        let (g, snap, current, _) = skewed_setup(700);
+        let default_out = Ds2Policy::new().evaluate(&g, &snap, &current).unwrap();
+        assert!(default_out.splits.is_empty(), "detect_splits defaults off");
+        let split_out = Ds2Policy::with_config(PolicyConfig {
+            detect_splits: true,
+            ..Default::default()
+        })
+        .evaluate(&g, &snap, &current)
+        .unwrap();
+        // Detection is purely additive: the Eq. 7 plan is untouched.
+        assert_eq!(default_out.plan, split_out.plan);
+    }
+
+    #[test]
+    fn split_hint_silent_on_uniform_or_absorbable_load() {
+        // Uniform shares: hot_share 0.25 < 1.5/4.
+        let (g, snap, current, _) = skewed_setup(250);
+        let policy = Ds2Policy::with_config(PolicyConfig {
+            detect_splits: true,
+            ..Default::default()
+        });
+        assert!(policy
+            .evaluate(&g, &snap, &current)
+            .unwrap()
+            .splits
+            .is_empty());
+        // Skewed but absorbable: same shape at a tenth of the load, so the
+        // hot class's 70/s fits one instance's 250/s capacity.
+        let (g, mut snap, current, op) = skewed_setup(700);
+        snap.set_source_rate(OperatorId(0), 100.0);
+        let mk = |records_in: u64| InstanceMetrics {
+            records_in,
+            records_out: records_in,
+            useful_ns: 100_000_000,
+            window_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        snap.insert_instances(op, vec![mk(70), mk(10), mk(10), mk(10)]);
+        assert!(policy
+            .evaluate(&g, &snap, &current)
+            .unwrap()
+            .splits
+            .is_empty());
+    }
+
+    #[test]
+    fn workspace_reset_clears_stale_split_hints() {
+        let (g, snap, current, _) = skewed_setup(700);
+        let policy = Ds2Policy::with_config(PolicyConfig {
+            detect_splits: true,
+            ..Default::default()
+        });
+        let mut ws = PolicyWorkspace::new();
+        policy.evaluate_into(&g, &snap, &current, &mut ws).unwrap();
+        assert_eq!(ws.output().splits.len(), 1);
+        let (g2, snap2, current2, _) = skewed_setup(250);
+        policy
+            .evaluate_into(&g2, &snap2, &current2, &mut ws)
+            .unwrap();
+        assert!(ws.output().splits.is_empty(), "stale hints must not leak");
     }
 }

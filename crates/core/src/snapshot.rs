@@ -25,6 +25,12 @@ pub struct MetricsSnapshot {
     /// rates the application data sources *produce*, not the (possibly
     /// backpressure-throttled) rates the dataflow achieves.
     source_rates: OpMap<f64>,
+    /// Per-instance state size of each stateful operator, in bytes — the
+    /// state dimension of the resource model. Stateless operators (and
+    /// collectors unaware of state) simply never report, so
+    /// parallelism-only pipelines carry an empty map and compare equal to
+    /// their pre-state-model selves.
+    state_bytes: OpMap<f64>,
 }
 
 impl MetricsSnapshot {
@@ -38,14 +44,17 @@ impl MetricsSnapshot {
         Self {
             operators: OpMap::with_len(n),
             source_rates: OpMap::with_len(n),
+            state_bytes: OpMap::with_len(n),
         }
     }
 
-    /// Removes all operator metrics and source rates in `O(1)`, keeping the
-    /// slot allocations (and the instance vectors inside them) for reuse.
+    /// Removes all operator metrics, source rates and state sizes in
+    /// `O(1)`, keeping the slot allocations (and the instance vectors
+    /// inside them) for reuse.
     pub fn clear(&mut self) {
         self.operators.clear();
         self.source_rates.clear();
+        self.state_bytes.clear();
     }
 
     /// Inserts metrics for one operator.
@@ -102,6 +111,23 @@ impl MetricsSnapshot {
     /// All recorded `(source, offered rate)` pairs in id order.
     pub fn source_rates(&self) -> impl Iterator<Item = (OperatorId, f64)> + '_ {
         self.source_rates.iter().map(|(op, &r)| (op, r))
+    }
+
+    /// Records the per-instance state size of a stateful operator, in bytes.
+    pub fn set_state_bytes(&mut self, op: OperatorId, bytes: f64) {
+        self.state_bytes.insert(op, bytes);
+    }
+
+    /// Per-instance state size of an operator in bytes, if reported.
+    #[inline]
+    pub fn state_bytes(&self, op: OperatorId) -> Option<f64> {
+        self.state_bytes.get(op).copied()
+    }
+
+    /// All reported `(operator, per-instance state bytes)` pairs in id
+    /// order.
+    pub fn state_bytes_iter(&self) -> impl Iterator<Item = (OperatorId, f64)> + '_ {
+        self.state_bytes.iter().map(|(op, &b)| (op, b))
     }
 
     /// The observed (achieved) aggregate output rate of a source, from its
@@ -162,6 +188,10 @@ impl PartialEq for MetricsSnapshot {
                 .source_rates()
                 .map(|(op, r)| (op, r.to_bits()))
                 .eq(other.source_rates().map(|(op, r)| (op, r.to_bits())))
+            && self
+                .state_bytes_iter()
+                .map(|(op, b)| (op, b.to_bits()))
+                .eq(other.state_bytes_iter().map(|(op, b)| (op, b.to_bits())))
     }
 }
 
@@ -238,6 +268,19 @@ mod tests {
         let (_, _, snap) = setup();
         assert_eq!(snap.observed_source_rate(OperatorId(0)), Some(100.0));
         assert_eq!(snap.observed_source_rate(OperatorId(9)), None);
+    }
+
+    #[test]
+    fn state_bytes_round_trip_and_participate_in_equality() {
+        let (_, _, mut snap) = setup();
+        let (_, _, plain) = setup();
+        assert_eq!(snap, plain);
+        snap.set_state_bytes(OperatorId(1), 5e8);
+        assert_eq!(snap.state_bytes(OperatorId(1)), Some(5e8));
+        assert_eq!(snap.state_bytes(OperatorId(0)), None);
+        assert_ne!(snap, plain, "state report must be observable");
+        snap.clear();
+        assert_eq!(snap.state_bytes(OperatorId(1)), None);
     }
 
     #[test]

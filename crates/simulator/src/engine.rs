@@ -364,6 +364,17 @@ pub struct FluidEngine {
     /// Whether any operator uses windowed output (window firings are tied
     /// to absolute time, so such graphs never fast-forward).
     has_windowed: bool,
+    /// Whether any operator carries a [`StateProfile`]. Gates the whole
+    /// spill path: stateless dataflows never compute spill factors and take
+    /// the exact historical float path through the cost cache.
+    has_state: bool,
+    /// Bit pattern of the total offered source rate the current spill
+    /// factors were computed at; `None` until the first refresh. Spill
+    /// factors are phase-constant (source schedules are piecewise
+    /// constant), which is what keeps them fast-forward-safe.
+    spill_rate_bits: Option<u64>,
+    /// The rate behind `spill_rate_bits`, for cost-cache rebuilds.
+    spill_total_rate: f64,
     /// Cached Timely-mode deployment view (every operator at the worker
     /// pool size), rebuilt when the pool rescales, so
     /// [`FluidEngine::deployment`] can lend it without allocating.
@@ -429,6 +440,11 @@ impl FluidEngine {
         let epoch_ns = cfg.epoch_ns;
         let seed = cfg.seed;
         let has_windowed = window_periods.iter().any(|w| w.is_some());
+        let has_state = (0..m).any(|i| {
+            profiles
+                .get(OperatorId(i))
+                .is_some_and(|p| p.state.is_some())
+        });
         let mut engine = Self {
             graph,
             profiles,
@@ -460,10 +476,14 @@ impl FluidEngine {
             pending_tag_shift: 0,
             last_frontier: None,
             has_windowed,
+            has_state,
+            spill_rate_bits: None,
+            spill_total_rate: 0.0,
             timely_deployment: Deployment::with_len(m),
         };
         engine.init_states();
         engine.rebuild_cost_cache();
+        engine.refresh_spill();
         engine.rebuild_timely_deployment();
         engine
     }
@@ -497,8 +517,62 @@ impl FluidEngine {
                     self.effective_real_cost(profile, p),
                 )
             };
-            self.cost_cache[i] = (instr, real);
+            // Spill penalty: strictly skipped at factor 1.0 so stateless
+            // operators (and stateful ones within budget) keep the exact
+            // historical cost bits.
+            let spill = self.spill_factor(op, p);
+            self.cost_cache[i] = if spill != 1.0 {
+                (instr * spill, real * spill)
+            } else {
+                (instr, real)
+            };
         }
+    }
+
+    /// Per-record cost multiplier from state spill: when an operator's
+    /// per-instance state at the current offered rate exceeds its profile's
+    /// per-instance budget, every record pays the spill multiplier (state
+    /// accesses go through secondary storage). `1.0` for stateless
+    /// operators and stateful ones within budget.
+    fn spill_factor(&self, op: OperatorId, p: usize) -> f64 {
+        if !self.has_state {
+            return 1.0;
+        }
+        let profile = &self.profiles[op];
+        match &profile.state {
+            Some(s)
+                if s.spill_cost_multiplier > 1.0
+                    && profile.state_bytes(p, self.spill_total_rate)
+                        > s.budget_per_instance_bytes =>
+            {
+                s.spill_cost_multiplier
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Total offered rate across all sources at the current virtual time.
+    fn total_offered_rate(&self) -> f64 {
+        self.sources
+            .iter()
+            .map(|(_, spec)| spec.schedule.rate_at(self.now_ns))
+            .sum()
+    }
+
+    /// Recomputes spill factors when the offered source rate changed
+    /// (bitwise comparison — schedules are piecewise constant, so this
+    /// fires once per phase, not per tick). No-op for stateless dataflows.
+    fn refresh_spill(&mut self) {
+        if !self.has_state {
+            return;
+        }
+        let rate = self.total_offered_rate();
+        if self.spill_rate_bits == Some(rate.to_bits()) {
+            return;
+        }
+        self.spill_rate_bits = Some(rate.to_bits());
+        self.spill_total_rate = rate;
+        self.rebuild_cost_cache();
     }
 
     /// Number of metric-reporting instances of an operator.
@@ -528,7 +602,12 @@ impl FluidEngine {
     fn partition_shares(&self, op: OperatorId) -> Vec<f64> {
         match self.cfg.mode {
             EngineMode::Timely => vec![1.0],
-            _ => self.profiles[op].instance_weights(self.partitions_of(op)),
+            // The key-class axis of the deployment flows in here: a plan
+            // with `key_classes > 1` spreads the hot class over that many
+            // instances. At the default split of 1 this is bitwise the
+            // classic single-hot-instance weighting.
+            _ => self.profiles[op]
+                .instance_weights_split(self.partitions_of(op), self.deployment.key_classes(op)),
         }
     }
 
@@ -1026,6 +1105,7 @@ impl FluidEngine {
 
     /// The tick body: one full simulation step.
     fn tick_core(&mut self) -> TickEvents {
+        self.refresh_spill();
         let mut events = TickEvents::default();
         let tick_ns = self.cfg.tick_ns;
         let tick_end = self.now_ns + tick_ns;
@@ -1727,6 +1807,22 @@ impl FluidEngine {
         for (op, spec) in self.sources.iter() {
             snap.set_source_rate(op, spec.schedule.rate_at(self.now_ns));
         }
+        // State dimension: stateful operators report their per-instance
+        // state size at the current rate and parallelism. Stateless
+        // pipelines leave the map empty, so their snapshots stay bitwise
+        // what they were before the state model existed.
+        if self.has_state {
+            let rate = self.total_offered_rate();
+            for op in self.graph.operators() {
+                if self.graph.is_source(op) {
+                    continue;
+                }
+                let profile = &self.profiles[op];
+                if profile.state.is_some() {
+                    snap.set_state_bytes(op, profile.state_bytes(self.instances_of(op), rate));
+                }
+            }
+        }
         self.snapshot_start_ns = self.now_ns;
     }
 
@@ -1742,6 +1838,7 @@ impl FluidEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::StateProfile;
     use crate::source::RateSchedule;
     use ds2_core::graph::GraphBuilder;
 
@@ -2070,6 +2167,195 @@ mod tests {
         let cold_util = m.instances[1].utilization();
         assert!(hot_util > 0.9, "hot {hot_util}");
         assert!(cold_util < 0.5, "cold {cold_util}");
+    }
+
+    /// The skew scenario above, but with a splittable hot class and a
+    /// deployment that splits it in two: the weights become uniform
+    /// (0.25 each), the effective capacity reaches 1200/s, and the
+    /// offered 1000/s flows without throttling — same parallelism.
+    #[test]
+    fn class_split_relieves_hot_key() {
+        let (graph, ids) = chain(&[(300.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(300.0, 1.0).with_splittable_skew(0.5),
+        );
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(1_000.0));
+        let mut d = Deployment::uniform(&graph, 1);
+        d.set(ids[1], 4);
+        d.set_key_classes(ids[1], 2);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            per_instance_queue: 1_000.0,
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        e.run_for(60_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let obs = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((obs - 1_000.0).abs() < 50.0, "split rate {obs}");
+    }
+
+    /// A rescale that only changes the key-class split (same parallelism
+    /// everywhere) must go through the normal redeploy machinery and take
+    /// effect: throughput recovers from the skew-limited 600/s to the full
+    /// offered rate.
+    #[test]
+    fn class_split_deploys_via_rescale_path() {
+        let (graph, ids) = chain(&[(300.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(300.0, 1.0).with_splittable_skew(0.5),
+        );
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(1_000.0));
+        let mut d = Deployment::uniform(&graph, 1);
+        d.set(ids[1], 4);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            per_instance_queue: 1_000.0,
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d.clone(), cfg);
+        e.run_for(30_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let before = e
+            .collect_snapshot()
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((before - 600.0).abs() < 60.0, "pre-split rate {before}");
+
+        let mut plan = d;
+        plan.set_key_classes(ids[1], 2);
+        assert_ne!(&plan, e.deployment(), "split plans must compare unequal");
+        e.request_rescale(plan.clone());
+        e.run_for(30_000_000_000);
+        assert_eq!(e.deployment().key_classes(ids[1]), 2);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let after = e
+            .collect_snapshot()
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((after - 1_000.0).abs() < 50.0, "post-split rate {after}");
+    }
+
+    /// An over-budget stateful operator pays the spill multiplier: capacity
+    /// halves and the source is throttled to it; the snapshot reports the
+    /// per-instance state size.
+    #[test]
+    fn spill_penalty_throttles_and_state_is_reported() {
+        let (graph, ids) = chain(&[(1_000.0, 1.0)]);
+        let mut profiles = ProfileMap::new();
+        // 1e6 bytes per rec/s: 8e8 bytes at 800/s, over the 2e8 budget on
+        // one instance -> every record costs 2x -> 500/s effective.
+        profiles.insert(
+            ids[1],
+            OperatorProfile::with_capacity(1_000.0, 1.0).with_state(StateProfile {
+                bytes_per_source_rate: 1e6,
+                spill_cost_multiplier: 2.0,
+                budget_per_instance_bytes: 2e8,
+                ..Default::default()
+            }),
+        );
+        let mut sources = BTreeMap::new();
+        sources.insert(ids[0], SourceSpec::constant(800.0));
+        let d = Deployment::uniform(&graph, 1);
+        let cfg = EngineConfig {
+            instrumentation: InstrumentationConfig::disabled(),
+            per_instance_queue: 1_000.0,
+            ..Default::default()
+        };
+        let mut e = FluidEngine::new(graph, profiles, sources, d, cfg);
+        e.run_for(30_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let obs = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((obs - 500.0).abs() < 50.0, "spill-limited rate {obs}");
+        assert_eq!(snap.state_bytes(ids[1]), Some(8e8));
+
+        // Four instances bring per-instance state to 2e8 = budget (not
+        // over): no spill, and the offered 800/s flows.
+        let mut plan = e.current_deployment();
+        plan.set(ids[1], 4);
+        e.request_rescale(plan);
+        e.run_for(30_000_000_000);
+        let _ = e.collect_snapshot();
+        e.run_for(10_000_000_000);
+        let snap = e.collect_snapshot();
+        let obs = snap
+            .operator(ids[0])
+            .unwrap()
+            .aggregate_observed_output_rate()
+            .unwrap();
+        assert!((obs - 800.0).abs() < 50.0, "in-budget rate {obs}");
+        assert_eq!(snap.state_bytes(ids[1]), Some(2e8));
+    }
+
+    /// A stateful operator that never exceeds its budget behaves bitwise
+    /// like its stateless twin — the spill machinery must not perturb a
+    /// single float on the in-budget path.
+    #[test]
+    fn in_budget_state_is_bitwise_inert() {
+        let build = |stateful: bool| {
+            let (graph, ids) = chain(&[(500.0, 1.2), (700.0, 1.0)]);
+            let mut profiles = ProfileMap::new();
+            let mut p1 = OperatorProfile::with_capacity(500.0, 1.2);
+            if stateful {
+                p1 = p1.with_state(StateProfile {
+                    base_bytes: 1e8,
+                    bytes_per_source_rate: 1e4,
+                    spill_cost_multiplier: 3.0,
+                    budget_per_instance_bytes: f64::INFINITY,
+                });
+            }
+            profiles.insert(ids[1], p1);
+            profiles.insert(ids[2], OperatorProfile::with_capacity(700.0, 1.0));
+            let mut sources = BTreeMap::new();
+            sources.insert(ids[0], SourceSpec::constant(900.0));
+            let mut d = Deployment::uniform(&graph, 1);
+            d.set(ids[1], 2);
+            d.set(ids[2], 2);
+            let cfg = EngineConfig {
+                instrumentation: InstrumentationConfig::disabled(),
+                ..Default::default()
+            };
+            (FluidEngine::new(graph, profiles, sources, d, cfg), ids)
+        };
+        let (mut a, ids) = build(false);
+        let (mut b, _) = build(true);
+        a.run_for(20_000_000_000);
+        b.run_for(20_000_000_000);
+        let sa = a.collect_snapshot();
+        let sb = b.collect_snapshot();
+        for &op in &ids {
+            assert_eq!(
+                sa.operator(op),
+                sb.operator(op),
+                "{op}: in-budget state must not change metrics"
+            );
+        }
+        assert_eq!(sa.state_bytes(ids[1]), None);
+        assert_eq!(sb.state_bytes(ids[1]), Some(5e7 + 4.5e6));
     }
 
     #[test]

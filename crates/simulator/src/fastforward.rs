@@ -32,6 +32,15 @@
 //! its merge bound, an oscillating Heron spout) simply fails the shift
 //! check and keeps executing full ticks, with an exponential probe backoff
 //! bounding the detection overhead.
+//!
+//! The multi-dimensional resource model composes with this for free:
+//! key-class topology changes deploy through the engine's rescale request,
+//! which invalidates any armed transition exactly like a parallelism
+//! rescale, and a spill multiplier is a pure function of the (bitwise
+//! phase-constant) offered rate and the deployment — so it cannot change
+//! inside a replayable window, whose boundaries already stop at phase
+//! changes. A class split thus cancels replay, redeploys, and re-probes
+//! bitwise-identically to exact execution.
 
 use crate::engine::InstanceAcc;
 use crate::queue::Span;

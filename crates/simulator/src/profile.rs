@@ -103,6 +103,50 @@ impl OutputMode {
     }
 }
 
+/// The state-size model of one operator: how many bytes of operator state
+/// the instances carry as a function of the offered source rate, and what
+/// happens when an instance's share exceeds its budget.
+///
+/// Total operator state is `base_bytes + bytes_per_source_rate × rate`
+/// (rate = total offered source rate in records/s), divided evenly across
+/// the instances. When the per-instance share exceeds the budget the
+/// operator *spills*: its per-record cost is multiplied by
+/// `spill_cost_multiplier` — the Justin-style memory-pressure failure mode
+/// a rate-only model cannot see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateProfile {
+    /// Rate-independent state, in bytes.
+    pub base_bytes: f64,
+    /// Additional state per unit of offered source rate, in bytes per
+    /// (record/second). Any dataflow dilution (selectivity of upstream
+    /// operators) is folded in by the generator, so the engine only needs
+    /// the total offered source rate.
+    pub bytes_per_source_rate: f64,
+    /// Per-record cost multiplier while spilling (> 1).
+    pub spill_cost_multiplier: f64,
+    /// Default per-instance budget in bytes when the deployment does not
+    /// set one (∞ = unbudgeted).
+    pub budget_per_instance_bytes: f64,
+}
+
+impl Default for StateProfile {
+    fn default() -> Self {
+        Self {
+            base_bytes: 0.0,
+            bytes_per_source_rate: 0.0,
+            spill_cost_multiplier: 1.0,
+            budget_per_instance_bytes: f64::INFINITY,
+        }
+    }
+}
+
+impl StateProfile {
+    /// Total operator state at offered source rate `rate`, in bytes.
+    pub fn total_bytes(&self, rate: f64) -> f64 {
+        self.base_bytes + self.bytes_per_source_rate * rate
+    }
+}
+
 /// The full cost model of one logical operator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OperatorProfile {
@@ -125,6 +169,15 @@ pub struct OperatorProfile {
     /// parallelism 4, instance 0 receives 50% of the records and the rest
     /// share the remainder evenly.
     pub skew_hot_fraction: Option<f64>,
+    /// Whether the hot key class can be split across instances
+    /// (`key_classes > 1` in a [`ResourceAlloc`]): true when the skew comes
+    /// from a *class* of keys rather than one indivisible key. Splitting an
+    /// unsplittable hot key is a no-op.
+    ///
+    /// [`ResourceAlloc`]: ds2_core::deployment::ResourceAlloc
+    pub skew_splittable: bool,
+    /// State-size model (`None` = stateless: no bytes, no spill).
+    pub state: Option<StateProfile>,
 }
 
 impl Default for OperatorProfile {
@@ -138,6 +191,8 @@ impl Default for OperatorProfile {
             hidden_ns: 0.0,
             hidden_scaling: ScalingCurve::Linear,
             skew_hot_fraction: None,
+            skew_splittable: false,
+            state: None,
         }
     }
 }
@@ -183,6 +238,20 @@ impl OperatorProfile {
         self
     }
 
+    /// Sets a *splittable* hot-key skew fraction: the hot share comes from
+    /// a class of keys a `key_classes` split can spread across instances.
+    pub fn with_splittable_skew(mut self, hot_fraction: f64) -> Self {
+        self.skew_hot_fraction = Some(hot_fraction);
+        self.skew_splittable = true;
+        self
+    }
+
+    /// Sets the state-size model.
+    pub fn with_state(mut self, state: StateProfile) -> Self {
+        self.state = Some(state);
+        self
+    }
+
     /// Makes the output windowed with the given period.
     pub fn windowed(mut self, period_ns: u64) -> Self {
         let sel = self.output.average_selectivity();
@@ -225,18 +294,45 @@ impl OperatorProfile {
 
     /// Per-instance input shares at parallelism `p` (sums to 1).
     pub fn instance_weights(&self, p: usize) -> Vec<f64> {
+        self.instance_weights_split(p, 1)
+    }
+
+    /// Per-instance input shares at parallelism `p` with the hot key class
+    /// split across `split` instances (sums to 1).
+    ///
+    /// `split = 1` is classic hash partitioning and reproduces
+    /// [`OperatorProfile::instance_weights`] bitwise. With `split = s > 1`
+    /// the hot share is spread evenly over instances `0..s` (each receives
+    /// `hot/s`) and the remaining `p - s` instances split the cold share
+    /// evenly; `s >= p` degenerates to the uniform distribution. Profiles
+    /// without [`OperatorProfile::skew_splittable`] ignore the split — the
+    /// hot key is a single indivisible key.
+    pub fn instance_weights_split(&self, p: usize, split: usize) -> Vec<f64> {
         let p = p.max(1);
+        let s = if self.skew_splittable || split <= 1 {
+            split.max(1)
+        } else {
+            1
+        };
         match self.skew_hot_fraction {
             None => vec![1.0 / p as f64; p],
             Some(hot) => {
                 if p == 1 {
                     return vec![1.0];
                 }
-                // The hot instance receives max(hot, fair share); the rest
-                // split the remainder evenly.
-                let hot = hot.clamp(0.0, 1.0).max(1.0 / p as f64);
-                let mut w = vec![(1.0 - hot) / (p as f64 - 1.0); p];
-                w[0] = hot;
+                if s >= p {
+                    return vec![1.0 / p as f64; p];
+                }
+                // The hot class receives max(hot, its fair share) spread
+                // over s instances; the rest split the remainder evenly.
+                // At s = 1 every operation below is bitwise identical to
+                // the classic single-hot-instance formula.
+                let hot = hot.clamp(0.0, 1.0).max(s as f64 / p as f64);
+                let mut w = vec![(1.0 - hot) / ((p - s) as f64); p];
+                let hot_each = hot / s as f64;
+                for wi in w.iter_mut().take(s) {
+                    *wi = hot_each;
+                }
                 w
             }
         }
@@ -246,8 +342,26 @@ impl OperatorProfile {
     /// skew-adjusted instance shares: `R` such that the hottest instance
     /// processes `max_share * R <= real_capacity`.
     pub fn effective_capacity(&self, p: usize) -> f64 {
-        let max_share = self.instance_weights(p).into_iter().fold(0.0f64, f64::max);
+        self.effective_capacity_split(p, 1)
+    }
+
+    /// [`OperatorProfile::effective_capacity`] with the hot class split
+    /// across `split` instances.
+    pub fn effective_capacity_split(&self, p: usize, split: usize) -> f64 {
+        let max_share = self
+            .instance_weights_split(p, split)
+            .into_iter()
+            .fold(0.0f64, f64::max);
         self.real_capacity(p) / max_share
+    }
+
+    /// Per-instance state size at parallelism `p` and offered source rate
+    /// `rate`, in bytes (0 for stateless operators).
+    pub fn state_bytes(&self, p: usize, rate: f64) -> f64 {
+        match &self.state {
+            None => 0.0,
+            Some(s) => s.total_bytes(rate) / p.max(1) as f64,
+        }
     }
 }
 
@@ -358,6 +472,71 @@ mod tests {
         assert!((p.effective_capacity(4) - 200.0).abs() < 1e-9);
         let uniform = OperatorProfile::with_capacity(100.0, 1.0);
         assert!((uniform.effective_capacity(4) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_one_is_bitwise_identical_to_classic_weights() {
+        for hot in [0.05, 0.3, 0.5, 0.9] {
+            let p = OperatorProfile::default().with_splittable_skew(hot);
+            for n in 1..=16 {
+                let classic = p.instance_weights(n);
+                let split = p.instance_weights_split(n, 1);
+                assert_eq!(classic.len(), split.len());
+                for (a, b) in classic.iter().zip(&split) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "hot={hot} p={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_spreads_hot_share_and_conserves_mass() {
+        let p = OperatorProfile::default().with_splittable_skew(0.6);
+        let w = p.instance_weights_split(6, 3);
+        assert!((w[0] - 0.2).abs() < 1e-12);
+        assert!((w[1] - 0.2).abs() < 1e-12);
+        assert!((w[2] - 0.2).abs() < 1e-12);
+        assert!((w[3] - 0.4 / 3.0).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Splitting over every instance is uniform.
+        let w = p.instance_weights_split(4, 4);
+        assert!(w.iter().all(|x| (x - 0.25).abs() < 1e-12));
+        // Splitting over more instances than exist is also uniform.
+        let w = p.instance_weights_split(4, 9);
+        assert!(w.iter().all(|x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unsplittable_skew_ignores_the_split() {
+        let p = OperatorProfile::default().with_skew(0.5);
+        let w1 = p.instance_weights_split(4, 1);
+        let w2 = p.instance_weights_split(4, 2);
+        assert_eq!(w1, w2, "an indivisible hot key cannot be split");
+    }
+
+    #[test]
+    fn split_raises_effective_capacity() {
+        let p = OperatorProfile::with_capacity(100.0, 1.0).with_splittable_skew(0.5);
+        // Unsplit: hot instance takes 0.5 → R_max = 200 regardless of p.
+        assert!((p.effective_capacity_split(8, 1) - 200.0).abs() < 1e-9);
+        // Split over 2: hottest share 0.25 → R_max = 400.
+        assert!((p.effective_capacity_split(8, 2) - 400.0).abs() < 1e-9);
+        // Full split: uniform → R_max = 800.
+        assert!((p.effective_capacity_split(8, 8) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_bytes_divides_across_instances() {
+        let p = OperatorProfile::default().with_state(StateProfile {
+            base_bytes: 1e6,
+            bytes_per_source_rate: 1e3,
+            spill_cost_multiplier: 3.0,
+            budget_per_instance_bytes: f64::INFINITY,
+        });
+        // 1e6 + 1e3 * 2000 = 3e6 total, over 4 instances.
+        assert!((p.state_bytes(4, 2_000.0) - 7.5e5).abs() < 1e-6);
+        let stateless = OperatorProfile::default();
+        assert_eq!(stateless.state_bytes(4, 2_000.0), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use ds2_core::graph::OperatorId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::profile::{OperatorProfile, ProfileMap, ScalingCurve};
+use crate::profile::{OperatorProfile, ProfileMap, ScalingCurve, StateProfile};
 use crate::source::SourceSpec;
 
 use super::nexmark::{self, ScenarioFamily};
@@ -144,6 +144,8 @@ impl ScenarioSpec {
                     initial,
                 }
             }
+            ScenarioFamily::HotKey => Self::generate_hot_key(seed, config, rng),
+            ScenarioFamily::StatePressure => Self::generate_state_pressure(seed, config, rng),
         }
     }
 
@@ -252,6 +254,206 @@ impl ScenarioSpec {
         }
     }
 
+    /// Hot-key family: one operator carries a *splittable* hot key class
+    /// whose rate is 2–6× a single instance's capacity, so no parallelism
+    /// alone keeps up (the hot instance saturates at any p) — but splitting
+    /// the hot class across instances does. Parallelism-only controllers
+    /// plateau; the multi-dimensional controller converges.
+    fn generate_hot_key(seed: u64, config: &GeneratorConfig, mut rng: SmallRng) -> ScenarioSpec {
+        let shape = config.shapes[rng.gen_range(0..config.shapes.len())];
+        let n_ops = rng.gen_range(config.operators.0..=config.operators.1);
+        let topology = Topology::generate(shape, n_ops, &mut rng);
+        let base = rng.gen_range(config.rate_range.0..config.rate_range.1);
+        let hot = rng.gen_range(0.4..0.7);
+        let workload = Workload {
+            shape: WorkloadShape::KeySkew,
+            spec: SourceSpec::constant(base),
+            final_rate: base,
+            peak_rate: base,
+            last_change_ns: 0,
+            skew_hot_fraction: Some(hot),
+        };
+
+        let mut cum_sel: BTreeMap<OperatorId, f64> = BTreeMap::new();
+        let mut profiles = ProfileMap::new();
+        let graph = &topology.graph;
+        let non_source: Vec<OperatorId> = graph
+            .operators()
+            .filter(|&op| !graph.is_source(op))
+            .collect();
+        let victim = non_source[rng.gen_range(0..non_source.len())];
+        // How many single-instance capacities the hot class alone offers:
+        // the skew plateau sits this far below the victim's target rate.
+        let overload = rng.gen_range(2.0..6.0);
+
+        for op in graph.topological_order().collect::<Vec<_>>() {
+            if graph.is_source(op) {
+                cum_sel.insert(op, 1.0);
+                continue;
+            }
+            let upstream_cum = graph
+                .upstream_edges(op)
+                .map(|e| cum_sel[&e.from])
+                .sum::<f64>()
+                .max(1e-6);
+            let (slo, shi) = config.selectivity_range;
+            let sel = rng
+                .gen_range(slo..shi)
+                .clamp(0.25 / upstream_cum, 2.0 / upstream_cum)
+                .clamp(0.05, 8.0);
+            cum_sel.insert(op, upstream_cum * sel);
+
+            let profile = if op == victim {
+                // Pin the hot class at `overload` instance-capacities of the
+                // victim's target rate; the profile stays linear so the
+                // plateau is purely the key distribution's fault.
+                let target = upstream_cum * base;
+                let capacity = (hot * target / overload).max(30.0);
+                OperatorProfile::with_capacity(capacity, sel).with_splittable_skew(hot)
+            } else {
+                let capacity = rng.gen_range(config.capacity_range.0..config.capacity_range.1);
+                OperatorProfile::with_capacity(capacity, sel)
+            };
+            profiles.insert(op, profile);
+        }
+
+        let mut sources = BTreeMap::new();
+        for &src in graph.sources() {
+            sources.insert(src, workload.spec.clone());
+        }
+        let mut initial = Deployment::uniform(graph, 1);
+        let (plo, phi) = config.initial_parallelism;
+        for &op in &non_source {
+            initial.set(op, rng.gen_range(plo..=phi));
+        }
+
+        ScenarioSpec {
+            seed,
+            family: ScenarioFamily::HotKey,
+            topology,
+            workload,
+            profiles,
+            sources,
+            initial,
+        }
+    }
+
+    /// State-pressure family: one stateful operator's total state grows
+    /// with the offered rate, and as a `state_ramp`/`state_spike` workload
+    /// elevates the rate, the per-instance state at the rate-optimal
+    /// parallelism overshoots the memory budget by 1.5–3×. Running over
+    /// budget spills (a 2–4× cost multiplier), so the true optimum is the
+    /// state floor `ceil(total_state / budget)`, above the rate optimum.
+    fn generate_state_pressure(
+        seed: u64,
+        config: &GeneratorConfig,
+        mut rng: SmallRng,
+    ) -> ScenarioSpec {
+        let shape = config.shapes[rng.gen_range(0..config.shapes.len())];
+        let n_ops = rng.gen_range(config.operators.0..=config.operators.1);
+        let topology = Topology::generate(shape, n_ops, &mut rng);
+        let workload_shape = if rng.gen_bool(0.5) {
+            WorkloadShape::StateRamp
+        } else {
+            WorkloadShape::StateSpike
+        };
+        let workload = Workload::generate(
+            workload_shape,
+            config.run_duration_ns,
+            config.rate_range,
+            &mut rng,
+        );
+
+        let mut cum_sel: BTreeMap<OperatorId, f64> = BTreeMap::new();
+        let mut profiles = ProfileMap::new();
+        let graph = &topology.graph;
+        let non_source: Vec<OperatorId> = graph
+            .operators()
+            .filter(|&op| !graph.is_source(op))
+            .collect();
+        let victim = non_source[rng.gen_range(0..non_source.len())];
+        // The victim's rate-optimal parallelism is drawn, not derived:
+        // capacity is set so `p_rate` instances exactly sustain the final
+        // rate, keeping the state floor (`pressure × p_rate`) under the
+        // matrix's parallelism cap.
+        let p_rate = rng.gen_range(2usize..=8);
+        let pressure = rng.gen_range(1.5..3.0);
+        let spill = rng.gen_range(2.0..4.0);
+        let budget = rng.gen_range(1.0e8..4.0e8);
+        let total_final: f64 = graph.sources().len() as f64 * workload.final_rate;
+
+        for op in graph.topological_order().collect::<Vec<_>>() {
+            if graph.is_source(op) {
+                cum_sel.insert(op, 1.0);
+                continue;
+            }
+            let upstream_cum = graph
+                .upstream_edges(op)
+                .map(|e| cum_sel[&e.from])
+                .sum::<f64>()
+                .max(1e-6);
+            let (slo, shi) = config.selectivity_range;
+            let sel = rng
+                .gen_range(slo..shi)
+                .clamp(0.25 / upstream_cum, 2.0 / upstream_cum)
+                .clamp(0.05, 8.0);
+            cum_sel.insert(op, upstream_cum * sel);
+
+            let profile = if op == victim {
+                let target = upstream_cum * workload.final_rate;
+                let capacity = (target / p_rate as f64).max(30.0);
+                // Total state at the final rate lands `pressure` budgets
+                // above what `p_rate` instances can hold.
+                let total_bytes = budget * p_rate as f64 * pressure;
+                OperatorProfile::with_capacity(capacity, sel).with_state(StateProfile {
+                    base_bytes: 0.0,
+                    bytes_per_source_rate: total_bytes / total_final,
+                    spill_cost_multiplier: spill,
+                    budget_per_instance_bytes: budget,
+                })
+            } else {
+                let capacity = rng.gen_range(config.capacity_range.0..config.capacity_range.1);
+                OperatorProfile::with_capacity(capacity, sel)
+            };
+            profiles.insert(op, profile);
+        }
+
+        let mut sources = BTreeMap::new();
+        for &src in graph.sources() {
+            sources.insert(src, workload.spec.clone());
+        }
+        let mut initial = Deployment::uniform(graph, 1);
+        let (plo, phi) = config.initial_parallelism;
+        for &op in &non_source {
+            initial.set(op, rng.gen_range(plo..=phi));
+        }
+
+        ScenarioSpec {
+            seed,
+            family: ScenarioFamily::StatePressure,
+            topology,
+            workload,
+            profiles,
+            sources,
+            initial,
+        }
+    }
+
+    /// The per-instance state budget this scenario's stateful operators
+    /// were generated against: the tightest finite
+    /// [`StateProfile::budget_per_instance_bytes`] across profiles, or
+    /// `None` for stateless scenarios. The multi-dimensional controller is
+    /// configured with this value (the machine limit is knowable; *when*
+    /// state crosses it is not).
+    pub fn state_budget(&self) -> Option<f64> {
+        self.profiles
+            .values()
+            .filter_map(|p| p.state.as_ref())
+            .map(|s| s.budget_per_instance_bytes)
+            .filter(|b| b.is_finite() && *b > 0.0)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
     /// Analytic target input rate per operator when every upstream keeps up
     /// with a total workload rate of `source_rate` (the ground truth of
     /// Eq. 8). Each source offers `source_rate` scaled by its share of the
@@ -288,10 +490,14 @@ impl ScenarioSpec {
     /// workload's final rate, accounting for scaling curves, hidden
     /// overhead and skew (the matrix's provisioning ground truth).
     ///
-    /// With a hot key, aggregate capacity plateaus at
+    /// With a non-splittable hot key, aggregate capacity plateaus at
     /// `capacity / hot_share` no matter the parallelism (§4.2.3: skew is
     /// not fixable by scaling); in that case the reported optimum is the
-    /// smallest parallelism reaching the plateau.
+    /// smallest parallelism reaching the plateau. A *splittable* hot key
+    /// is scored at full class split (uniform shares), and a stateful
+    /// operator with a finite budget additionally takes the state floor
+    /// `ceil(total_state / budget)` — both paths are inert for profiles
+    /// without those dimensions, keeping pre-refactor optima bit-identical.
     pub fn optimal_parallelism(&self) -> BTreeMap<OperatorId, usize> {
         let targets = self.target_rates(self.workload.final_rate);
         let graph = &self.topology.graph;
@@ -302,21 +508,44 @@ impl ScenarioSpec {
             }
             let rt = targets[&op];
             let profile = &self.profiles[&op];
+            let cap_at = |p: usize| {
+                if profile.skew_splittable {
+                    profile.effective_capacity_split(p, p)
+                } else {
+                    profile.effective_capacity(p)
+                }
+            };
             // Effective capacity is monotone in p for the generated curve
             // parameters (alpha well below 1) until a skew plateau, so the
             // first sufficient p is the optimum; past 8 non-improving steps
             // the capacity has plateaued below the target.
             let mut best = 1usize;
-            let mut best_cap = profile.effective_capacity(1);
+            let mut best_cap = cap_at(1);
             let mut p = 1usize;
             while p < 1_024 && best_cap < rt * (1.0 - 1e-9) {
                 p += 1;
-                let cap = profile.effective_capacity(p);
+                let cap = cap_at(p);
                 if cap > best_cap * (1.0 + 1e-9) {
                     best = p;
                     best_cap = cap;
                 } else if p >= best + 8 {
                     break;
+                }
+            }
+            if let Some(state) = &profile.state {
+                if state.budget_per_instance_bytes.is_finite()
+                    && state.budget_per_instance_bytes > 0.0
+                {
+                    let total_rate: f64 = self
+                        .sources
+                        .values()
+                        .map(|s| s.schedule.rate_at(u64::MAX))
+                        .sum();
+                    let total_bytes = state.total_bytes(total_rate);
+                    let floor = ((total_bytes / state.budget_per_instance_bytes) - 1e-9)
+                        .ceil()
+                        .max(1.0) as usize;
+                    best = best.max(floor);
                 }
             }
             optimal.insert(op, best);
@@ -515,6 +744,93 @@ mod tests {
         }
         for seed in 20..60 {
             check_optimum_minimal_and_sufficient(seed, &configs[0]);
+        }
+    }
+
+    #[test]
+    fn hot_key_scenarios_need_class_splits() {
+        let cfg = GeneratorConfig {
+            families: vec![ScenarioFamily::HotKey],
+            ..Default::default()
+        };
+        for seed in 0..40 {
+            let a = ScenarioSpec::generate(seed, &cfg);
+            let b = ScenarioSpec::generate(seed, &cfg);
+            assert_eq!(a.profiles, b.profiles, "seed {seed}");
+            assert_eq!(a.initial, b.initial, "seed {seed}");
+            assert_eq!(a.family, ScenarioFamily::HotKey);
+            assert_eq!(a.state_budget(), None, "hotkey scenarios are stateless");
+            let victims: Vec<_> = a
+                .profiles
+                .iter()
+                .filter(|(_, p)| p.skew_splittable)
+                .map(|(&op, p)| (op, p.clone()))
+                .collect();
+            assert_eq!(victims.len(), 1, "seed {seed}: exactly one hot operator");
+            let (op, profile) = &victims[0];
+            let rt = a.target_rates(a.workload.final_rate)[op];
+            let optimal = a.optimal_parallelism();
+            let p = optimal[op];
+            // Parallelism alone plateaus below the target; the full class
+            // split at the reported optimum sustains it.
+            assert!(
+                profile.effective_capacity(64) < rt * (1.0 - 1e-9),
+                "seed {seed}: {op} keeps up without splitting"
+            );
+            assert!(
+                profile.effective_capacity_split(p, p) >= rt * (1.0 - 1e-9),
+                "seed {seed}: {op} optimum p={p} insufficient even split"
+            );
+            assert!(p <= 64, "seed {seed}: optimum {p} above the matrix cap");
+        }
+    }
+
+    #[test]
+    fn state_pressure_optima_sit_on_the_state_floor() {
+        let cfg = GeneratorConfig {
+            families: vec![ScenarioFamily::StatePressure],
+            ..Default::default()
+        };
+        for seed in 0..40 {
+            let a = ScenarioSpec::generate(seed, &cfg);
+            let b = ScenarioSpec::generate(seed, &cfg);
+            assert_eq!(a.profiles, b.profiles, "seed {seed}");
+            assert_eq!(a.family, ScenarioFamily::StatePressure);
+            assert!(
+                matches!(
+                    a.workload.shape,
+                    WorkloadShape::StateRamp | WorkloadShape::StateSpike
+                ),
+                "seed {seed}: {:?}",
+                a.workload.shape
+            );
+            let budget = a.state_budget().expect("a stateful operator");
+            let stateful: Vec<_> = a
+                .profiles
+                .iter()
+                .filter(|(_, p)| p.state.is_some())
+                .map(|(&op, p)| (op, p.clone()))
+                .collect();
+            assert_eq!(stateful.len(), 1, "seed {seed}: exactly one stateful op");
+            let (op, profile) = &stateful[0];
+            let p = a.optimal_parallelism()[op];
+            let total_rate = a.topology.graph.sources().len() as f64 * a.workload.final_rate;
+            // The optimum is the smallest parallelism whose per-instance
+            // state fits the budget, and it still sustains the rate.
+            assert!(
+                profile.state_bytes(p, total_rate) <= budget * (1.0 + 1e-9),
+                "seed {seed}: {op} over budget at its optimum p={p}"
+            );
+            assert!(
+                profile.state_bytes(p - 1, total_rate) > budget,
+                "seed {seed}: {op} optimum p={p} not the state floor"
+            );
+            let rt = a.target_rates(a.workload.final_rate)[op];
+            assert!(
+                profile.effective_capacity(p) >= rt * (1.0 - 1e-9),
+                "seed {seed}: {op} optimum p={p} cannot sustain the rate"
+            );
+            assert!(p <= 64, "seed {seed}: optimum {p} above the matrix cap");
         }
     }
 

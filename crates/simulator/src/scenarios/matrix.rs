@@ -80,10 +80,17 @@ pub enum ControllerKind {
     Threshold,
     /// M/M/c queueing-theory provisioning.
     Queueing,
+    /// The DS2 manager on the multi-dimensional resource model: key-class
+    /// split detection plus the scenario's per-instance state budget. Not
+    /// in [`ControllerKind::ALL`] — the headline matrix (and its golden
+    /// report) stays parallelism-only; this kind is opted into by the
+    /// multi-dim comparison runs.
+    Ds2MultiDim,
 }
 
 impl ControllerKind {
-    /// All controllers, DS2 first.
+    /// The headline controllers, DS2 first ([`ControllerKind::Ds2MultiDim`]
+    /// is opt-in and deliberately absent).
     pub const ALL: [ControllerKind; 4] = [
         ControllerKind::Ds2,
         ControllerKind::Dhalion,
@@ -98,6 +105,7 @@ impl ControllerKind {
             ControllerKind::Dhalion => "dhalion",
             ControllerKind::Threshold => "threshold",
             ControllerKind::Queueing => "queueing",
+            ControllerKind::Ds2MultiDim => "ds2_multidim",
         }
     }
 }
@@ -189,6 +197,21 @@ pub struct ScenarioOutcome {
     pub final_instances: usize,
     /// Analytic optimal non-source instances for the final rate.
     pub optimal_instances: usize,
+    /// Non-source instance-hours held over the run (parallelism integrated
+    /// over virtual time between scaling commands) — the parallelism
+    /// dimension's resource bill.
+    pub instance_hours: f64,
+    /// Instance-hours held by operators carrying a finite per-instance
+    /// state budget (memory-slot-hours) — the state dimension's resource
+    /// bill. `0` for stateless scenarios.
+    pub state_budget_hours: f64,
+    /// The scenario's hot-class share (the largest `skew_hot_fraction`
+    /// across profiles; `0` without skew), echoed into failure reports.
+    pub hot_share: f64,
+    /// Whether the controller ran on the multi-dimensional resource model
+    /// (key-class splits + state budgets). Reports grow per-dimension
+    /// columns only when at least one outcome sets this.
+    pub multidim: bool,
 }
 
 /// All outcomes of a matrix run.
@@ -223,6 +246,10 @@ pub struct ControllerSummary {
     pub mean_reversals: f64,
     /// Total scaling commands across all runs.
     pub total_decisions: usize,
+    /// Mean non-source instance-hours per run (parallelism dimension).
+    pub mean_instance_hours: f64,
+    /// Mean budgeted-operator instance-hours per run (state dimension).
+    pub mean_state_budget_hours: f64,
 }
 
 impl MatrixReport {
@@ -260,7 +287,7 @@ impl MatrixReport {
         let mut out = String::new();
         for o in self.failing_runs(controller) {
             out.push_str(&format!(
-                "  seed={} family={} topology={} workload={} steps={} converged={} ratio={:.3}\n",
+                "  seed={} family={} topology={} workload={} steps={} converged={} ratio={:.3} hot_share={:.2}\n",
                 o.seed,
                 o.family,
                 o.topology,
@@ -268,6 +295,7 @@ impl MatrixReport {
                 o.steps_final_phase,
                 o.converged,
                 o.final_achieved_ratio,
+                o.hot_share,
             ));
         }
         if out.is_empty() {
@@ -333,6 +361,8 @@ impl MatrixReport {
             .map(|o| o.overprovision_factor)
             .collect();
         let reversals: Vec<f64> = outcomes.iter().map(|o| o.reversals as f64).collect();
+        let instance_hours: Vec<f64> = outcomes.iter().map(|o| o.instance_hours).collect();
+        let state_hours: Vec<f64> = outcomes.iter().map(|o| o.state_budget_hours).collect();
         ControllerSummary {
             controller: name,
             runs,
@@ -356,18 +386,39 @@ impl MatrixReport {
                 .count(),
             mean_reversals: mean(&reversals),
             total_decisions: outcomes.iter().map(|o| o.decisions_total).sum(),
+            mean_instance_hours: mean(&instance_hours),
+            mean_state_budget_hours: mean(&state_hours),
         }
     }
 
+    /// Whether any outcome ran on the multi-dimensional resource model —
+    /// when true, the rendered tables grow the per-dimension resource
+    /// columns (`inst_hrs`, `state_hrs`). Parallelism-only reports render
+    /// byte-identically to the pre-multi-dim format.
+    pub fn is_multidim(&self) -> bool {
+        self.outcomes.iter().any(|o| o.multidim)
+    }
+
     /// Renders a per-controller comparison table.
+    ///
+    /// Multi-dimensional reports (see [`is_multidim`](Self::is_multidim))
+    /// append two resource columns: `inst_hrs` — mean non-source
+    /// instance-hours per run (the parallelism bill) — and `state_hrs` —
+    /// mean instance-hours of budgeted stateful operators (the state
+    /// bill).
     pub fn render(&self, controllers: &[ControllerKind]) -> String {
+        let multidim = self.is_multidim();
         let mut out = String::from(
-            "controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions\n",
+            "controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
         );
+        if multidim {
+            out.push_str("  inst_hrs  state_hrs");
+        }
+        out.push('\n');
         for &kind in controllers {
             let s = self.summary(kind);
             out.push_str(&format!(
-                "{:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}\n",
+                "{:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
                 s.controller,
                 s.runs,
                 s.converged,
@@ -380,22 +431,35 @@ impl MatrixReport {
                 s.mean_reversals,
                 s.total_decisions,
             ));
+            if multidim {
+                out.push_str(&format!(
+                    "  {:>8.3}  {:>9.3}",
+                    s.mean_instance_hours, s.mean_state_budget_hours,
+                ));
+            }
+            out.push('\n');
         }
         out
     }
 
     /// Renders the per-family breakdown: one row per scenario family ×
     /// controller, in first-appearance family order. Deterministic for any
-    /// thread count (the report is).
+    /// thread count (the report is). Multi-dimensional reports grow the
+    /// same per-dimension resource columns as [`render`](Self::render).
     pub fn render_families(&self, controllers: &[ControllerKind]) -> String {
+        let multidim = self.is_multidim();
         let mut out = String::from(
-            "family       controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions\n",
+            "family       controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
         );
+        if multidim {
+            out.push_str("  inst_hrs  state_hrs");
+        }
+        out.push('\n');
         for family in self.families() {
             for &kind in controllers {
                 let s = self.summary_for_family(kind, family);
                 out.push_str(&format!(
-                    "{:<11}  {:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}\n",
+                    "{:<11}  {:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
                     family,
                     s.controller,
                     s.runs,
@@ -409,6 +473,13 @@ impl MatrixReport {
                     s.mean_reversals,
                     s.total_decisions,
                 ));
+                if multidim {
+                    out.push_str(&format!(
+                        "  {:>8.3}  {:>9.3}",
+                        s.mean_instance_hours, s.mean_state_budget_hours,
+                    ));
+                }
+                out.push('\n');
             }
         }
         out
@@ -577,12 +648,16 @@ impl ScenarioMatrix {
         };
         let graph = spec.topology.graph.clone();
         match kind {
-            ControllerKind::Ds2 => {
+            ControllerKind::Ds2 | ControllerKind::Ds2MultiDim => {
+                let config = match kind {
+                    ControllerKind::Ds2MultiDim => self.ds2_multidim_config(spec),
+                    _ => self.ds2_config(),
+                };
                 // Thread the arena's policy workspace through the manager
                 // and recover it for the worker's next cell.
                 let manager = ScalingManager::with_workspace(
                     graph,
-                    self.ds2_config(),
+                    config,
                     std::mem::take(&mut arena.policy_ws),
                 );
                 let mut the_loop = ClosedLoop::new(engine, manager, harness);
@@ -640,6 +715,22 @@ impl ScenarioMatrix {
             },
             ..Default::default()
         }
+    }
+
+    /// The multi-dimensional DS2 configuration: [`ds2_config`] plus
+    /// key-class split detection and the scenario's per-instance state
+    /// budget (the machine limit is knowable configuration; *when* state
+    /// crosses it is what the controller must detect from the reported
+    /// state sizes).
+    ///
+    /// [`ds2_config`]: ScenarioMatrix::ds2_config
+    pub fn ds2_multidim_config(&self, spec: &ScenarioSpec) -> ManagerConfig {
+        let mut config = self.ds2_config();
+        config.policy.detect_splits = true;
+        if let Some(budget) = spec.state_budget() {
+            config.state_budget_per_instance = budget;
+        }
+        config
     }
 
     fn build_engine(&self, spec: &ScenarioSpec) -> FluidEngine {
@@ -740,6 +831,55 @@ impl ScenarioMatrix {
             .map(|i| steps_final_phase - i - 1)
             .unwrap_or(0);
 
+        // Per-dimension resource bills: parallelism integrated over virtual
+        // time between scaling commands (every controller is billed the
+        // same way, so parallelism-only and multi-dim runs compare on one
+        // scale). Budgeted stateful operators additionally bill their
+        // memory slots.
+        let budgeted: Vec<_> = graph
+            .operators()
+            .filter(|&op| {
+                !graph.is_source(op)
+                    && spec.profiles.get(&op).is_some_and(|p| {
+                        p.state.as_ref().is_some_and(|s| {
+                            s.budget_per_instance_bytes.is_finite()
+                                && s.budget_per_instance_bytes > 0.0
+                        })
+                    })
+            })
+            .collect();
+        let count = |dep: &Deployment| -> (usize, usize) {
+            let total = graph
+                .operators()
+                .filter(|&op| !graph.is_source(op))
+                .map(|op| dep.parallelism(op))
+                .sum();
+            let state = budgeted.iter().map(|&op| dep.parallelism(op)).sum();
+            (total, state)
+        };
+        const NS_PER_HOUR: f64 = 3.6e12;
+        let mut instance_hours = 0.0;
+        let mut state_budget_hours = 0.0;
+        let (mut cur_total, mut cur_state) = count(&spec.initial);
+        let mut t_ns = 0u64;
+        for d in &result.decisions {
+            let at = d.at_ns.min(run_end);
+            let seg = at.saturating_sub(t_ns) as f64 / NS_PER_HOUR;
+            instance_hours += cur_total as f64 * seg;
+            state_budget_hours += cur_state as f64 * seg;
+            (cur_total, cur_state) = count(&d.plan);
+            t_ns = at.max(t_ns);
+        }
+        let seg = run_end.saturating_sub(t_ns) as f64 / NS_PER_HOUR;
+        instance_hours += cur_total as f64 * seg;
+        state_budget_hours += cur_state as f64 * seg;
+
+        let hot_share = spec
+            .profiles
+            .values()
+            .filter_map(|p| p.skew_hot_fraction)
+            .fold(0.0, f64::max);
+
         ScenarioOutcome {
             seed: spec.seed,
             controller: kind.name(),
@@ -762,6 +902,10 @@ impl ScenarioMatrix {
             decisions_after_convergence,
             final_instances,
             optimal_instances,
+            instance_hours,
+            state_budget_hours,
+            hot_share,
+            multidim: kind == ControllerKind::Ds2MultiDim,
         }
     }
 }
@@ -976,6 +1120,66 @@ mod tests {
                 "seed {}: no analytic optimum",
                 o.seed
             );
+        }
+    }
+
+    #[test]
+    fn multidim_ds2_beats_parallelism_only_on_stress_families() {
+        // The refactor's claim in miniature: on hot-key and state-pressure
+        // scenarios the multi-dimensional DS2 converges within the paper's
+        // three steps strictly more often than parallelism-only DS2, and
+        // the report grows the per-dimension resource columns.
+        use crate::scenarios::nexmark::ScenarioFamily;
+        for family in [ScenarioFamily::HotKey, ScenarioFamily::StatePressure] {
+            let cfg = MatrixConfig {
+                scenarios: 8,
+                controllers: vec![ControllerKind::Ds2, ControllerKind::Ds2MultiDim],
+                threads: 2,
+                generator: GeneratorConfig {
+                    families: vec![family],
+                    operators: (2, 6),
+                    run_duration_ns: 180_000_000_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let report = ScenarioMatrix::new(cfg).run();
+            assert!(report.is_multidim());
+            let ds2 = report.summary(ControllerKind::Ds2);
+            let multi = report.summary(ControllerKind::Ds2MultiDim);
+            assert!(
+                multi.within_three_steps > ds2.within_three_steps,
+                "{family:?}: multidim {multi:?} not better than {ds2:?}\n{}",
+                report.describe_failures("ds2_multidim"),
+            );
+            let table = report.render(&[ControllerKind::Ds2, ControllerKind::Ds2MultiDim]);
+            assert!(table.contains("inst_hrs") && table.contains("state_hrs"));
+            assert!(table.contains("ds2_multidim"));
+        }
+    }
+
+    #[test]
+    fn parallelism_only_reports_keep_the_classic_columns() {
+        let mut cfg = small_config(2);
+        cfg.controllers = vec![ControllerKind::Ds2];
+        let report = ScenarioMatrix::new(cfg).run();
+        assert!(!report.is_multidim());
+        let table = report.render(&[ControllerKind::Ds2]);
+        assert!(
+            !table.contains("inst_hrs"),
+            "parallelism-only report grew multi-dim columns:\n{table}"
+        );
+        // Every run still bills instance-hours (the column is hidden, the
+        // bookkeeping is not): 180 virtual seconds at >=1 instance is at
+        // least 0.05 instance-hours.
+        for o in &report.outcomes {
+            assert!(
+                o.instance_hours > 0.04,
+                "seed {}: {}",
+                o.seed,
+                o.instance_hours
+            );
+            assert_eq!(o.state_budget_hours, 0.0, "stateless scenario billed state");
         }
     }
 

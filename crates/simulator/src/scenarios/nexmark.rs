@@ -199,6 +199,15 @@ pub enum ScenarioFamily {
     Synthetic,
     /// One of the paper's Nexmark query dataflows.
     Nexmark(NexmarkQuery),
+    /// Synthetic topologies where one operator's key distribution pins a
+    /// single instance: a splittable hot class whose rate exceeds any one
+    /// instance's capacity, so no parallelism alone can absorb it.
+    HotKey,
+    /// Synthetic topologies where one stateful operator's per-instance
+    /// state outgrows its memory budget as the workload ramps, forcing a
+    /// spill (and a state-driven parallelism floor) unless the controller
+    /// scales for state.
+    StatePressure,
 }
 
 impl ScenarioFamily {
@@ -222,13 +231,18 @@ impl ScenarioFamily {
             ScenarioFamily::Nexmark(NexmarkQuery::Q5) => "nexmark_q5",
             ScenarioFamily::Nexmark(NexmarkQuery::Q8) => "nexmark_q8",
             ScenarioFamily::Nexmark(NexmarkQuery::Q11) => "nexmark_q11",
+            ScenarioFamily::HotKey => "hotkey",
+            ScenarioFamily::StatePressure => "state_pressure",
         }
     }
 
     /// Parses a short name as printed in reports.
     pub fn from_name(name: &str) -> Option<ScenarioFamily> {
-        if name == "synthetic" {
-            return Some(ScenarioFamily::Synthetic);
+        match name {
+            "synthetic" => return Some(ScenarioFamily::Synthetic),
+            "hotkey" => return Some(ScenarioFamily::HotKey),
+            "state_pressure" => return Some(ScenarioFamily::StatePressure),
+            _ => {}
         }
         ScenarioFamily::ALL_NEXMARK
             .into_iter()
@@ -259,6 +273,9 @@ impl ScenarioFamily {
                 let index = NexmarkQuery::ALL.iter().position(|x| x == q).unwrap() as u64;
                 (index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             }
+            // Slots 7 and 8, continuing the Nexmark sequence (1..=6).
+            ScenarioFamily::HotKey => 7u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ScenarioFamily::StatePressure => 8u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }
     }
 }

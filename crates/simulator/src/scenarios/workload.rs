@@ -37,6 +37,16 @@ pub enum WorkloadShape {
     /// the rate stress and the skew stress arrive together, the way real
     /// flash events concentrate on one entity.
     SpikeSkew,
+    /// A sustained staircase climb to a multiple of the base rate that
+    /// never recedes — rate-proportional operator state grows with every
+    /// step, so a state budget that fit at the base rate stops fitting
+    /// partway up (state-pressure families). Not part of
+    /// [`WorkloadShape::ALL`]: the headline matrix mix is unchanged.
+    StateRamp,
+    /// A step to a persistently elevated rate: the state footprint jumps
+    /// with it and *stays* high, unlike [`WorkloadShape::Spike`] whose
+    /// burst recedes. Not part of [`WorkloadShape::ALL`].
+    StateSpike,
 }
 
 impl WorkloadShape {
@@ -63,12 +73,20 @@ impl WorkloadShape {
             WorkloadShape::Sawtooth => "sawtooth",
             WorkloadShape::FlashCrowd => "flash_crowd",
             WorkloadShape::SpikeSkew => "spike_skew",
+            WorkloadShape::StateRamp => "state_ramp",
+            WorkloadShape::StateSpike => "state_spike",
         }
     }
 
     /// Parses a short name as printed in reports.
     pub fn from_name(name: &str) -> Option<WorkloadShape> {
-        WorkloadShape::ALL.into_iter().find(|s| s.name() == name)
+        match name {
+            // The state shapes live outside `ALL` (they only appear in the
+            // state-pressure scenario family) but still parse.
+            "state_ramp" => Some(WorkloadShape::StateRamp),
+            "state_spike" => Some(WorkloadShape::StateSpike),
+            _ => WorkloadShape::ALL.into_iter().find(|s| s.name() == name),
+        }
     }
 }
 
@@ -266,6 +284,49 @@ impl Workload {
                     skew_hot_fraction: Some(hot),
                 }
             }
+            WorkloadShape::StateRamp => {
+                // Staircase from base to 2–3x over the first ~60% of the
+                // run, in 5 equal increments that never recede: each step
+                // adds rate-proportional state, so a budget sized for the
+                // base rate starts spilling partway up the stairs.
+                let steps_n = 5u64;
+                let top = base * rng.gen_range(2.0..3.0);
+                let active_ns = (run_duration_ns as f64 * 0.6) as u64;
+                let seg_ns = (active_ns / steps_n).max(1);
+                let mut steps = Vec::with_capacity(steps_n as usize + 1);
+                steps.push((0, base));
+                let mut last_change_ns = 0;
+                for s in 1..=steps_n {
+                    let frac = s as f64 / steps_n as f64;
+                    last_change_ns = s * seg_ns;
+                    steps.push((last_change_ns, base + (top - base) * frac));
+                }
+                let schedule = RateSchedule::steps(steps);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: top,
+                    peak_rate: top,
+                    last_change_ns,
+                    skew_hot_fraction: None,
+                }
+            }
+            WorkloadShape::StateSpike => {
+                // One step to a 2.5–4x rate at 30–50% of the run that
+                // *stays*: the state footprint jumps with the rate and never
+                // comes back down.
+                let at = (run_duration_ns as f64 * rng.gen_range(0.3..0.5)) as u64;
+                let high = (base * rng.gen_range(2.5..4.0)).min(hi * 3.0);
+                let schedule = RateSchedule::steps(vec![(0, base), (at, high)]);
+                Workload {
+                    shape,
+                    spec: SourceSpec::constant(base).with_schedule(schedule),
+                    final_rate: high,
+                    peak_rate: high,
+                    last_change_ns: at,
+                    skew_hot_fraction: None,
+                }
+            }
         }
     }
 }
@@ -351,6 +412,26 @@ mod tests {
             // The burst is transient: the schedule returns to the base rate.
             assert!(w.peak_rate > w.final_rate * 2.0);
             assert!((w.spec.schedule.rate_at(RUN) - w.final_rate).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn state_shapes_stay_out_of_all_but_parse_and_hold_invariants() {
+        assert_eq!(WorkloadShape::ALL.len(), 8, "headline mix must not grow");
+        let mut rng = SmallRng::seed_from_u64(31);
+        for shape in [WorkloadShape::StateRamp, WorkloadShape::StateSpike] {
+            assert!(!WorkloadShape::ALL.contains(&shape));
+            assert_eq!(WorkloadShape::from_name(shape.name()), Some(shape));
+            for _ in 0..30 {
+                let w = Workload::generate(shape, RUN, (500.0, 5_000.0), &mut rng);
+                let base = w.spec.schedule.rate_at(0);
+                // The elevated rate persists to the end of the run.
+                assert!((w.spec.schedule.rate_at(RUN) - w.final_rate).abs() < 1e-9);
+                assert!(w.final_rate > base * 1.5, "rate must stay elevated");
+                assert!((w.peak_rate - w.final_rate).abs() < 1e-9);
+                assert!(w.last_change_ns < (RUN as f64 * 0.65) as u64);
+                assert!(w.skew_hot_fraction.is_none());
+            }
         }
     }
 

@@ -221,6 +221,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Key-class split weights are a mass-conserving refinement of the
+    /// classic skewed weights: for any parallelism, hot share and split
+    /// degree the weights sum to 1 (every record lands on exactly one
+    /// instance), split 1 reproduces the classic `instance_weights`
+    /// **bitwise**, non-splittable profiles ignore the split dimension
+    /// entirely, and deepening a split never *raises* the hottest
+    /// instance's share (splits only relieve — the merge direction is the
+    /// same statement read right to left).
+    #[test]
+    fn class_splits_conserve_share_mass_and_weights(
+        p in 1usize..=64,
+        split in 1usize..=96,
+        hot in 0.05f64..0.95,
+        cap in 100.0f64..5_000.0,
+    ) {
+        let splittable = OperatorProfile::with_capacity(cap, 1.0).with_splittable_skew(hot);
+        let weights = splittable.instance_weights_split(p, split);
+        prop_assert_eq!(weights.len(), p);
+        let mass: f64 = weights.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9, "mass {} != 1", mass);
+        for &w in &weights {
+            prop_assert!(w > 0.0, "dead instance in {:?}", weights);
+        }
+
+        // Split 1 *is* the classic model, bit for bit.
+        let classic: Vec<u64> = splittable
+            .instance_weights(p)
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        let at_one: Vec<u64> = splittable
+            .instance_weights_split(p, 1)
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        prop_assert_eq!(at_one, classic);
+
+        // A non-splittable hot key cannot be split by decree.
+        let pinned = OperatorProfile::with_capacity(cap, 1.0).with_skew(hot);
+        let pinned_split: Vec<u64> = pinned
+            .instance_weights_split(p, split)
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        let pinned_classic: Vec<u64> = pinned
+            .instance_weights(p)
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        prop_assert_eq!(pinned_split, pinned_classic);
+
+        // Splitting deeper is monotone: max share never grows, so the
+        // effective capacity never shrinks.
+        let max_share = |s: usize| -> f64 {
+            splittable
+                .instance_weights_split(p, s)
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max)
+        };
+        let deeper = split.saturating_mul(2);
+        prop_assert!(
+            max_share(deeper) <= max_share(split) + 1e-12,
+            "split {} -> {} raised the max share",
+            split,
+            deeper
+        );
+        prop_assert!(
+            splittable.effective_capacity_split(p, deeper)
+                >= splittable.effective_capacity_split(p, split) - 1e-9,
+            "deeper split lost capacity"
+        );
+    }
+}
+
 /// The family-mix pool the partition property draws from: the synthetic
 /// family and every nexmark query family.
 const FAMILY_POOL: [ScenarioFamily; 7] = [

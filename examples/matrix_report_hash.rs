@@ -1,0 +1,50 @@
+//! Prints the FNV-1a hash of the headline fixed-seed matrix report (the
+//! exact configuration of `tests/scenario_matrix.rs`), used to refresh the
+//! byte-identity pin guarding behavior-preserving refactors.
+//!
+//! ```text
+//! cargo run --release --example matrix_report_hash
+//! ```
+
+use ds2::simulator::scenarios::{
+    ControllerKind, GeneratorConfig, MatrixConfig, ScenarioFamily, ScenarioMatrix, WorkloadShape,
+};
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let cfg = MatrixConfig {
+        scenarios: 5_000,
+        base_seed: 0xD52_0001,
+        controllers: vec![ControllerKind::Ds2],
+        generator: GeneratorConfig {
+            families: ScenarioFamily::headline_mix(),
+            workloads: vec![
+                WorkloadShape::Constant,
+                WorkloadShape::Step,
+                WorkloadShape::Spike,
+                WorkloadShape::Sawtooth,
+                WorkloadShape::FlashCrowd,
+            ],
+            run_duration_ns: 200_000_000_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = ScenarioMatrix::new(cfg).run();
+    let text = format!(
+        "{}{}",
+        report.render(&[ControllerKind::Ds2]),
+        report.render_families(&[ControllerKind::Ds2])
+    );
+    println!("render bytes: {}", text.len());
+    println!("fnv1a: {:#018x}", fnv1a(text.as_bytes()));
+}

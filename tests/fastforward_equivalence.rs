@@ -101,6 +101,55 @@ fn fastforward_is_exact_for_nexmark_families() {
     }
 }
 
+/// The multi-dimensional resource model keeps the equivalence: hot-key
+/// scenarios split key classes mid-run (a class-topology change deploys
+/// through the rescale path, cancelling any armed replay and re-probing),
+/// and state-pressure scenarios flip the spill multiplier as workload
+/// phases move the offered rate across the budget. Both must stay bitwise
+/// identical to `--exact` — and the sample must actually exercise class
+/// splits, or the property is vacuous.
+#[test]
+fn fastforward_is_exact_for_multidim_stress_families() {
+    let mut with_splits = 0usize;
+    for family in [ScenarioFamily::HotKey, ScenarioFamily::StatePressure] {
+        let generator = GeneratorConfig {
+            families: vec![family],
+            run_duration_ns: 150_000_000_000,
+            ..Default::default()
+        };
+        let fast = matrix(true, generator.clone());
+        let exact = matrix(false, generator.clone());
+        let mut arena_fast = CellArena::new();
+        let mut arena_exact = CellArena::new();
+        for seed in 0..12u64 {
+            let spec = ScenarioSpec::generate(seed, &generator);
+            for kind in [ControllerKind::Ds2, ControllerKind::Ds2MultiDim] {
+                let a = fast.run_one_raw(&spec, kind, &mut arena_fast);
+                let b = exact.run_one_raw(&spec, kind, &mut arena_exact);
+                assert_eq!(
+                    a,
+                    b,
+                    "seed {seed} ({} / {kind:?}): fast-forward diverged from exact execution",
+                    spec.family.name(),
+                );
+                let split = spec
+                    .topology
+                    .graph
+                    .operators()
+                    .any(|op| a.final_deployment.key_classes(op) > 1);
+                if split {
+                    with_splits += 1;
+                    assert_eq!(kind, ControllerKind::Ds2MultiDim, "only multi-dim splits");
+                }
+            }
+        }
+    }
+    assert!(
+        with_splits >= 8,
+        "only {with_splits} runs split a key class — sample too tame"
+    );
+}
+
 /// The equivalence also holds for the baseline controllers (different
 /// decision cadences stress different steady-state windows).
 #[test]
