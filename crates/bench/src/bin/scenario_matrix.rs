@@ -24,16 +24,27 @@
 //!                     executed in full. The report is bit-identical to the
 //!                     default fast-forward mode (CI diffs the two); this
 //!                     is the escape hatch that proves it
+//!   --faults P        inject deterministic telemetry and actuation faults:
+//!                     `none` (default), `mild`, or `harsh`. The fault
+//!                     sequence is a pure function of (scenario seed,
+//!                     profile), so faulted runs keep every determinism
+//!                     guarantee — including fast-forward bit-equality —
+//!                     and the report grows `faultw`/`vetoed`/`retries`
+//!                     columns. Pair with `ds2_hardened` to compare the
+//!                     hardened controller against vanilla DS2
 //!   --bench-json P    run the throughput baseline (1/4/8 threads with
 //!                     fast-forward, plus a 1-thread exact row — each for
 //!                     the synthetic family — 1/4-thread nexmark-family
-//!                     rows, and a 1-thread hotkey+state_pressure row under
-//!                     ds2_multidim) and write it to P as JSON, then exit
-//!   controllers       any of ds2/dhalion/threshold/queueing/ds2_multidim
-//!                     (default: ds2 + the three baselines). `ds2_multidim`
-//!                     runs DS2 on the multi-dimensional resource model:
-//!                     key-class split detection plus the scenario's
-//!                     per-instance state budget
+//!                     rows, a 1-thread hotkey+state_pressure row under
+//!                     ds2_multidim, and a 1-thread harsh-faults row under
+//!                     ds2_hardened) and write it to P as JSON, then exit
+//!   controllers       any of ds2/dhalion/threshold/queueing/ds2_multidim/
+//!                     ds2_hardened (default: ds2 + the three baselines).
+//!                     `ds2_multidim` runs DS2 on the multi-dimensional
+//!                     resource model: key-class split detection plus the
+//!                     scenario's per-instance state budget. `ds2_hardened`
+//!                     runs DS2 with snapshot validation, outlier
+//!                     rejection, and rescale verify-and-retry
 //! ```
 //!
 //! With more than one family in play the per-family breakdown table is
@@ -55,7 +66,8 @@
 use std::time::Instant;
 
 use ds2_simulator::scenarios::{
-    ControllerKind, MatrixConfig, ScenarioFamily, ScenarioMatrix, ScenarioSpec, WorkloadShape,
+    ControllerKind, FaultProfile, MatrixConfig, ScenarioFamily, ScenarioMatrix, ScenarioSpec,
+    WorkloadShape,
 };
 
 fn usage_exit(msg: &str) -> ! {
@@ -63,8 +75,8 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "usage: scenario_matrix [--scenarios N] [--threads N] [--seed S] \
          [--family synthetic|nexmark|nexmark_qN|hotkey|state_pressure|mixed|list] \
-         [--exact] [--bench-json PATH] \
-         [ds2|dhalion|threshold|queueing|ds2_multidim ...]"
+         [--exact] [--faults none|mild|harsh] [--bench-json PATH] \
+         [ds2|dhalion|threshold|queueing|ds2_multidim|ds2_hardened ...]"
     );
     std::process::exit(2);
 }
@@ -145,6 +157,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut bench_json: Option<String> = None;
     let mut fast_forward = true;
+    let mut faults = FaultProfile::None;
     let mut families: Option<Vec<ScenarioFamily>> = None;
     let mut list_requested = false;
     let mut controllers: Vec<ControllerKind> = Vec::new();
@@ -164,12 +177,18 @@ fn main() {
                 }
             }
             "--exact" => fast_forward = false,
+            "--faults" => {
+                let value: String = parse_flag(&mut args, "--faults");
+                faults = FaultProfile::from_name(&value)
+                    .unwrap_or_else(|| usage_exit(&format!("--faults: unknown profile '{value}'")));
+            }
             "--bench-json" => bench_json = args.next().or_else(|| usage_exit("--bench-json")),
             "ds2" => controllers.push(ControllerKind::Ds2),
             "dhalion" => controllers.push(ControllerKind::Dhalion),
             "threshold" => controllers.push(ControllerKind::Threshold),
             "queueing" => controllers.push(ControllerKind::Queueing),
             "ds2_multidim" => controllers.push(ControllerKind::Ds2MultiDim),
+            "ds2_hardened" => controllers.push(ControllerKind::Ds2Hardened),
             other => {
                 // Back-compat: a bare number is the scenario count.
                 match other.parse::<usize>() {
@@ -188,6 +207,7 @@ fn main() {
         threads,
         controllers: controllers.clone(),
         fast_forward,
+        faults,
         ..Default::default()
     };
     if let Some(families) = families {
@@ -289,12 +309,14 @@ fn main() {
 /// the standard thread counts — the synthetic family at 1/4/8 threads with
 /// fast-forward plus a 1-thread `--exact` row quantifying the macro-tick
 /// speedup, the nexmark family (all six queries, mostly windowed and
-/// therefore tick-by-tick) at 1/4 threads, and the multi-dimensional
+/// therefore tick-by-tick) at 1/4 threads, the multi-dimensional
 /// stress families (hotkey + state_pressure under the `ds2_multidim`
-/// controller, exercising class splits and spill accounting) at 1 thread
-/// — writing one JSON entry per configuration so the committed baseline
-/// captures single-thread data-plane speed, parallel scaling, the
-/// fast-forward ratio, the real-query-dataflow cost and the multi-dim
+/// controller, exercising class splits and spill accounting) at 1 thread,
+/// and a harsh-faults synthetic row under `ds2_hardened` (injection plus
+/// sanitize/verify/retry overhead) at 1 thread — writing one JSON entry
+/// per configuration so the committed baseline captures single-thread
+/// data-plane speed, parallel scaling, the fast-forward ratio, the
+/// real-query-dataflow cost, the multi-dim overhead and the hardening
 /// overhead. Thread counts beyond the host's CPUs still run (the sharded
 /// queue over-subscribes harmlessly); the `threads` field records the
 /// configuration, `cpus` the host, so readers can judge comparability.
@@ -309,34 +331,47 @@ fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
     // bench_guard gate and baseline trajectories stay comparable across
     // PRs.
     let stress = vec![ScenarioFamily::HotKey, ScenarioFamily::StatePressure];
-    let runs: [(&str, Vec<ScenarioFamily>, usize, bool, ControllerKind); 7] = [
+    let synthetic = vec![ScenarioFamily::Synthetic];
+    type Run = (
+        &'static str,
+        Vec<ScenarioFamily>,
+        usize,
+        bool,
+        ControllerKind,
+        FaultProfile,
+    );
+    let runs: [Run; 8] = [
         (
             "",
-            vec![ScenarioFamily::Synthetic],
+            synthetic.clone(),
             1,
             true,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
         (
             "",
-            vec![ScenarioFamily::Synthetic],
+            synthetic.clone(),
             4,
             true,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
         (
             "",
-            vec![ScenarioFamily::Synthetic],
+            synthetic.clone(),
             8,
             true,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
         (
             "",
-            vec![ScenarioFamily::Synthetic],
+            synthetic.clone(),
             1,
             false,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
         (
             "_nexmark",
@@ -344,6 +379,7 @@ fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
             1,
             true,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
         (
             "_nexmark",
@@ -351,15 +387,32 @@ fn run_throughput_baseline(path: &str, base: &MatrixConfig) {
             4,
             true,
             ControllerKind::Ds2,
+            FaultProfile::None,
         ),
-        ("_multidim", stress, 1, true, ControllerKind::Ds2MultiDim),
+        (
+            "_multidim",
+            stress,
+            1,
+            true,
+            ControllerKind::Ds2MultiDim,
+            FaultProfile::None,
+        ),
+        (
+            "_faulted",
+            synthetic,
+            1,
+            true,
+            ControllerKind::Ds2Hardened,
+            FaultProfile::Harsh,
+        ),
     ];
-    for (family_suffix, families, threads, fast_forward, controller) in runs {
+    for (family_suffix, families, threads, fast_forward, controller, faults) in runs {
         let mut config = MatrixConfig {
             scenarios,
             threads,
             controllers: vec![controller],
             fast_forward,
+            faults,
             ..base.clone()
         };
         config.generator.families = families;

@@ -76,6 +76,7 @@ pub fn run_ds2(
             run_duration_ns: duration_ns,
             timeline_resolution_ns: 1_000_000_000,
             timely,
+            faults: None,
         },
     );
     the_loop.run()
@@ -96,6 +97,7 @@ pub fn run_controller<C: ScalingController>(
             run_duration_ns: duration_ns,
             timeline_resolution_ns: 1_000_000_000,
             timely: false,
+            faults: None,
         },
     );
     the_loop.run()

@@ -34,6 +34,26 @@ impl ControllerVerdict {
     }
 }
 
+/// Counters a hardened controller exposes about degraded-input handling.
+///
+/// All counters stay zero for controllers without hardening, so harnesses can
+/// harvest this unconditionally via [`ScalingController::fault_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerFaultStats {
+    /// Metric windows where at least one operator's slots were repaired from
+    /// the last-good snapshot.
+    pub repaired_windows: u32,
+    /// Per-instance samples replaced by the operator median as rate outliers.
+    pub outliers_rejected: u32,
+    /// Metric windows vetoed outright (majority-invalid telemetry): the
+    /// controller held the last-good deployment instead of acting.
+    pub vetoed_windows: u32,
+    /// Rescale requests re-issued after a deploy acknowledgement timed out.
+    pub retries: u32,
+    /// Rescales abandoned after the retry cap was exhausted.
+    pub abandoned_rescales: u32,
+}
+
 /// A scaling controller in the sense of the paper's §1: a component that
 /// decides *whether* and *how much* to scale each operator.
 pub trait ScalingController {
@@ -51,6 +71,12 @@ pub trait ScalingController {
 
     /// Notifies the controller that a requested rescale finished deploying.
     fn on_deployed(&mut self, _now_ns: u64, _deployment: &Deployment) {}
+
+    /// Degraded-input handling counters; all-zero unless the controller is
+    /// hardened against telemetry/actuation faults.
+    fn fault_stats(&self) -> ControllerFaultStats {
+        ControllerFaultStats::default()
+    }
 }
 
 #[cfg(test)]

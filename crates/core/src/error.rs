@@ -18,6 +18,24 @@ pub enum Ds2Error {
     InvalidMetrics(String),
     /// Deployment/parallelism information is inconsistent with the graph.
     InvalidDeployment(String),
+    /// A rescale did not complete within its deadline (e.g. a wedged worker
+    /// in the threaded runtime, or a deploy acknowledgement that never came).
+    RescaleTimedOut(String),
+    /// A failed rescale was retried up to the configured cap without landing;
+    /// the manager gives up and holds the last-good deployment.
+    RescaleRetriesExhausted {
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+    /// Telemetry is too degraded to act on: a majority of operators reported
+    /// missing or implausible metrics that could not be repaired from the
+    /// last-good snapshot within the staleness window.
+    DegradedTelemetry {
+        /// Operators whose metrics were invalid before repair.
+        invalid: usize,
+        /// Total operators in the graph.
+        total: usize,
+    },
 }
 
 impl fmt::Display for Ds2Error {
@@ -33,6 +51,16 @@ impl fmt::Display for Ds2Error {
             }
             Ds2Error::InvalidMetrics(msg) => write!(f, "invalid metrics: {msg}"),
             Ds2Error::InvalidDeployment(msg) => write!(f, "invalid deployment: {msg}"),
+            Ds2Error::RescaleTimedOut(msg) => write!(f, "rescale timed out: {msg}"),
+            Ds2Error::RescaleRetriesExhausted { retries } => {
+                write!(f, "rescale abandoned after {retries} retries")
+            }
+            Ds2Error::DegradedTelemetry { invalid, total } => {
+                write!(
+                    f,
+                    "telemetry degraded: {invalid}/{total} operators invalid beyond repair"
+                )
+            }
         }
     }
 }

@@ -73,7 +73,7 @@ pub mod snapshot;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::controller::{ControllerVerdict, ScalingController};
+    pub use crate::controller::{ControllerFaultStats, ControllerVerdict, ScalingController};
     pub use crate::deployment::{Deployment, ResourceAlloc};
     pub use crate::error::Ds2Error;
     pub use crate::graph::{Edge, GraphBuilder, LogicalGraph, OperatorId};

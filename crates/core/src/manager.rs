@@ -14,9 +14,10 @@
 //! and keeps its offered-rate and activation-combining scratch in dense
 //! reusable buffers.
 
-use crate::controller::{ControllerVerdict, ScalingController};
+use crate::controller::{ControllerFaultStats, ControllerVerdict, ScalingController};
 use crate::deployment::Deployment;
-use crate::graph::LogicalGraph;
+use crate::error::Ds2Error;
+use crate::graph::{LogicalGraph, OperatorId};
 use crate::opmap::OpMap;
 use crate::policy::{Ds2Policy, PolicyConfig, PolicyWorkspace};
 use crate::snapshot::MetricsSnapshot;
@@ -90,6 +91,31 @@ pub struct ManagerConfig {
     /// layered on top of the rate-driven Eq. 7 prescription. `∞` (default)
     /// disables the axis entirely.
     pub state_budget_per_instance: f64,
+    /// Hardening: validate each snapshot against the graph and current
+    /// deployment, repairing operators with missing or implausible slots
+    /// from the last fully-valid snapshot. `false` (default) trusts the
+    /// snapshot as-is, which is the paper's clean-instrumentation setting.
+    pub validate_snapshots: bool,
+    /// Maximum age, in policy intervals, of the last-good snapshot used for
+    /// repairs when `validate_snapshots` is on. Beyond this window a broken
+    /// operator stays broken and the policy defers on it instead.
+    pub max_stale_windows: u32,
+    /// Hardening: replace per-instance samples whose true processing rate is
+    /// further than `outlier_factor`× from the operator median with the
+    /// median instance's sample (stragglers, noisy counters).
+    pub outlier_rejection: bool,
+    /// Multiplicative distance from the per-operator median rate beyond
+    /// which an instance sample counts as an outlier.
+    pub outlier_factor: f64,
+    /// Hardening: policy intervals to wait for a deploy acknowledgement
+    /// before verifying the live deployment and re-issuing the rescale.
+    /// `0` (default) waits forever — the vanilla manager's behaviour, which
+    /// wedges permanently when an acknowledgement is lost.
+    pub rescale_timeout_intervals: u32,
+    /// Retry cap for re-issued rescales. Once exhausted the manager
+    /// abandons the plan, holds the current deployment, and bans the
+    /// abandoned plan with an escalating cool-off.
+    pub max_rescale_retries: u32,
     /// Underlying policy knobs (min/max parallelism, source scaling).
     pub policy: PolicyConfig,
 }
@@ -110,6 +136,12 @@ impl Default for ManagerConfig {
             rollback_ban_intervals: 3,
             rollback_load_shift_tolerance: 0.1,
             state_budget_per_instance: f64::INFINITY,
+            validate_snapshots: false,
+            max_stale_windows: 3,
+            outlier_rejection: false,
+            outlier_factor: 3.0,
+            rescale_timeout_intervals: 0,
+            max_rescale_retries: 3,
             policy: PolicyConfig::default(),
         }
     }
@@ -129,6 +161,9 @@ pub struct DecisionRecord {
     pub boost: f64,
     /// Whether a scaling command was issued this interval.
     pub acted: bool,
+    /// Typed reason when the interval deferred, vetoed, retried, or gave
+    /// up instead of evaluating cleanly.
+    pub error: Option<Ds2Error>,
 }
 
 /// The DS2 Scaling Manager: a [`ScalingController`] combining the policy of
@@ -174,6 +209,26 @@ pub struct ScalingManager {
     sticky_boost: f64,
     history: Vec<DecisionRecord>,
     consecutive_stable: u32,
+    /// Last snapshot that validated cleanly, for hardened repairs.
+    last_good: MetricsSnapshot,
+    /// Policy intervals since `last_good` was captured; `u32::MAX` until a
+    /// first valid snapshot is seen.
+    last_good_age: u32,
+    /// Sanitized copy of the incoming snapshot (hardened path scratch).
+    sanitize_buf: MetricsSnapshot,
+    /// `(rate, instance index)` sorting scratch for outlier rejection.
+    rate_scratch: Vec<(f64, usize)>,
+    /// The plan whose deploy acknowledgement is outstanding (hardened).
+    requested_plan: Option<Deployment>,
+    /// Intervals spent waiting for the outstanding acknowledgement.
+    awaiting_intervals: u32,
+    /// Retries already spent on the outstanding plan.
+    retries_used: u32,
+    /// Intervals left before the next retry may fire (exponential backoff).
+    backoff_remaining: u32,
+    /// Consecutive abandoned rescales, scaling the post-give-up ban.
+    failed_deploy_streak: u32,
+    fault_stats: ControllerFaultStats,
 }
 
 impl ScalingManager {
@@ -212,6 +267,16 @@ impl ScalingManager {
             sticky_boost: 1.0,
             history: Vec::new(),
             consecutive_stable: 0,
+            last_good: MetricsSnapshot::new(),
+            last_good_age: u32::MAX,
+            sanitize_buf: MetricsSnapshot::new(),
+            rate_scratch: Vec::new(),
+            requested_plan: None,
+            awaiting_intervals: 0,
+            retries_used: 0,
+            backoff_remaining: 0,
+            failed_deploy_streak: 0,
+            fault_stats: ControllerFaultStats::default(),
         }
     }
 
@@ -282,24 +347,243 @@ impl ScalingManager {
     }
 
     /// Combines pending decisions per `activation_combine`.
-    fn combine_pending(&mut self) -> Deployment {
-        debug_assert!(!self.pending.is_empty());
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ds2Error::InvalidMetrics`] if there are no pending
+    /// decisions to combine — a malformed-input condition that must defer
+    /// the interval, never panic the controller.
+    fn combine_pending(&mut self) -> Result<Deployment, Ds2Error> {
         let mut combined = Deployment::with_len(self.graph.len());
         let mut values = std::mem::take(&mut self.combine_values);
+        let mut error = None;
         for op in self.graph.operators() {
             values.clear();
             values.extend(self.pending.iter().map(|d| d.parallelism(op)));
             values.sort_unstable();
-            let v = match self.config.activation_combine {
-                ActivationCombine::Max => *values.last().expect("non-empty"),
+            let v = match (self.config.activation_combine, values.last()) {
+                (ActivationCombine::Max, Some(&max)) => max,
                 // Upper median: for an even count prefer the larger value,
                 // erring towards keeping up rather than under-provisioning.
-                ActivationCombine::Median => values[values.len() / 2],
+                (ActivationCombine::Median, Some(_)) => values[values.len() / 2],
+                (_, None) => {
+                    error = Some(Ds2Error::InvalidMetrics(format!(
+                        "no pending decisions to combine for {op}"
+                    )));
+                    break;
+                }
             };
             combined.set(op, v);
         }
         self.combine_values = values;
-        combined
+        match error {
+            Some(e) => Err(e),
+            None => Ok(combined),
+        }
+    }
+
+    /// Returns whether one operator's reported slots are plausible: present,
+    /// matching the deployed parallelism, individually valid, and (for
+    /// sources) accompanied by a finite offered rate.
+    fn slot_ok(snap: &MetricsSnapshot, graph: &LogicalGraph, op: OperatorId, p: usize) -> bool {
+        let Some(m) = snap.operator(op) else {
+            return false;
+        };
+        if m.instances.len() != p || m.instances.iter().any(|i| i.validate().is_err()) {
+            return false;
+        }
+        if graph.is_source(op) {
+            return matches!(snap.source_rate(op), Some(r) if r.is_finite() && r >= 0.0);
+        }
+        true
+    }
+
+    /// Copies `snapshot` into `buf`, repairing implausible operators from
+    /// the last-good snapshot (bounded staleness) and rejecting per-instance
+    /// rate outliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ds2Error::DegradedTelemetry`] when a majority of operators
+    /// is invalid before repair — such a window must be held, not acted on.
+    fn sanitize_snapshot(
+        &mut self,
+        buf: &mut MetricsSnapshot,
+        snapshot: &MetricsSnapshot,
+        current: &Deployment,
+    ) -> Result<(), Ds2Error> {
+        buf.clone_from(snapshot);
+        if self.config.validate_snapshots {
+            let mut invalid = 0usize;
+            let mut repaired_any = false;
+            let total = self.graph.len();
+            let fresh_enough = self.last_good_age != u32::MAX
+                && self.last_good_age <= self.config.max_stale_windows;
+            for op in self.graph.operators() {
+                let p = current.parallelism(op);
+                if Self::slot_ok(buf, &self.graph, op, p) {
+                    continue;
+                }
+                invalid += 1;
+                if !fresh_enough {
+                    continue;
+                }
+                // Fall back to the operator's last-good slots, but only when
+                // they still describe the deployed parallelism.
+                if let Some(good) = self.last_good.operator(op) {
+                    if good.instances.len() == p
+                        && good.instances.iter().all(|i| i.validate().is_ok())
+                    {
+                        buf.insert_instances(op, good.instances.clone());
+                        if self.graph.is_source(op) {
+                            if let Some(r) = self.last_good.source_rate(op) {
+                                if r.is_finite() && r >= 0.0 {
+                                    buf.set_source_rate(op, r);
+                                }
+                            }
+                        }
+                        repaired_any = true;
+                    }
+                }
+            }
+            if invalid == 0 {
+                self.last_good.clone_from(snapshot);
+                self.last_good_age = 0;
+            } else if self.last_good_age != u32::MAX {
+                self.last_good_age = self.last_good_age.saturating_add(1);
+            }
+            if repaired_any {
+                self.fault_stats.repaired_windows += 1;
+            }
+            if invalid * 2 > total {
+                return Err(Ds2Error::DegradedTelemetry { invalid, total });
+            }
+        }
+        if self.config.outlier_rejection {
+            self.reject_outliers(buf);
+        }
+        Ok(())
+    }
+
+    /// Replaces instance samples whose true processing rate is further than
+    /// `outlier_factor`× from the operator median with the median instance's
+    /// sample. This extends the §4.2.1 median idea from the activation axis
+    /// to the instance axis: one straggler with inflated useful time (or a
+    /// noisy counter) otherwise drags the whole aggregate capacity estimate.
+    fn reject_outliers(&mut self, buf: &mut MetricsSnapshot) {
+        let factor = self.config.outlier_factor.max(1.0);
+        let mut scratch = std::mem::take(&mut self.rate_scratch);
+        for op in self.graph.operators() {
+            let Some(m) = buf.operator_mut(op) else {
+                continue;
+            };
+            if m.instances.len() < 3 {
+                continue;
+            }
+            scratch.clear();
+            for (k, i) in m.instances.iter().enumerate() {
+                if let Some(r) = i.true_processing_rate() {
+                    if r.is_finite() && r > 0.0 {
+                        scratch.push((r, k));
+                    }
+                }
+            }
+            if scratch.len() < 3 {
+                scratch.clear();
+                continue;
+            }
+            scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let (median_rate, median_idx) = scratch[scratch.len() / 2];
+            let median_sample = m.instances[median_idx];
+            for &(r, k) in scratch.iter() {
+                if r > median_rate * factor || r * factor < median_rate {
+                    m.instances[k] = median_sample;
+                    self.fault_stats.outliers_rejected += 1;
+                }
+            }
+            scratch.clear();
+        }
+        self.rate_scratch = scratch;
+    }
+
+    /// Handles an interval that arrives while a deploy acknowledgement is
+    /// outstanding. Vanilla behaviour (timeout disabled) is to wait forever;
+    /// hardened behaviour verifies the live deployment after the timeout and
+    /// re-issues the plan with exponential backoff, up to the retry cap.
+    fn handle_awaiting(&mut self, now_ns: u64, current: &Deployment) -> ControllerVerdict {
+        let timeout = self.config.rescale_timeout_intervals;
+        if timeout == 0 {
+            return ControllerVerdict::NoAction;
+        }
+        self.awaiting_intervals = self.awaiting_intervals.saturating_add(1);
+        if self.awaiting_intervals < timeout {
+            return ControllerVerdict::NoAction;
+        }
+        let Some(requested) = self.requested_plan.clone() else {
+            // Nothing tracked for this wait (cannot normally happen):
+            // release the latch rather than wedge.
+            self.awaiting_deploy = false;
+            self.awaiting_intervals = 0;
+            return ControllerVerdict::NoAction;
+        };
+        if *current == requested {
+            // The rescale landed but its acknowledgement was lost: verify
+            // succeeded, acknowledge it ourselves.
+            self.on_deployed(now_ns, &requested);
+            return ControllerVerdict::NoAction;
+        }
+        if self.backoff_remaining > 0 {
+            self.backoff_remaining -= 1;
+            return ControllerVerdict::NoAction;
+        }
+        if self.retries_used < self.config.max_rescale_retries {
+            self.retries_used += 1;
+            self.fault_stats.retries += 1;
+            // 1, 2, 4, ... intervals between successive retries.
+            self.backoff_remaining = 1u32 << (self.retries_used - 1).min(16);
+            self.history.push(DecisionRecord {
+                at_ns: now_ns,
+                plan: Some(requested.clone()),
+                achieved_ratio: None,
+                boost: 1.0,
+                acted: true,
+                error: Some(Ds2Error::RescaleTimedOut(format!(
+                    "deploy unacknowledged after {} intervals (retry {} of {})",
+                    self.awaiting_intervals, self.retries_used, self.config.max_rescale_retries
+                ))),
+            });
+            return ControllerVerdict::Rescale(requested);
+        }
+        // Retry cap exhausted: abandon the plan, hold the deployment that is
+        // actually running, and ban the abandoned plan with an escalating
+        // cool-off so the next evaluation does not restart the cycle
+        // immediately.
+        let retries = self.retries_used;
+        self.fault_stats.abandoned_rescales += 1;
+        self.failed_deploy_streak = self.failed_deploy_streak.saturating_add(1);
+        self.rollback_ban_remaining = self
+            .config
+            .rollback_ban_intervals
+            .max(1)
+            .saturating_mul(self.failed_deploy_streak);
+        self.rolled_back_from = Some(requested);
+        self.requested_plan = None;
+        self.awaiting_deploy = false;
+        self.awaiting_intervals = 0;
+        self.retries_used = 0;
+        self.backoff_remaining = 0;
+        self.previous_deployment = None;
+        self.pre_deploy_ratio = None;
+        self.pre_deploy_offered = None;
+        self.history.push(DecisionRecord {
+            at_ns: now_ns,
+            plan: None,
+            achieved_ratio: None,
+            boost: 1.0,
+            acted: false,
+            error: Some(Ds2Error::RescaleRetriesExhausted { retries }),
+        });
+        ControllerVerdict::NoAction
     }
 
     /// Folds the non-parallelism axes into a freshly combined plan.
@@ -380,13 +664,89 @@ impl ScalingController for ScalingManager {
         current: &Deployment,
     ) -> ControllerVerdict {
         if self.awaiting_deploy {
-            return ControllerVerdict::NoAction;
+            return self.handle_awaiting(now_ns, current);
         }
         if self.warmup_remaining > 0 {
             self.warmup_remaining -= 1;
             return ControllerVerdict::NoAction;
         }
+        // Hardened telemetry path: sanitize into the scratch snapshot and
+        // decide on that; vanilla decides on the raw snapshot directly.
+        let verdict = if self.config.validate_snapshots || self.config.outlier_rejection {
+            let mut buf = std::mem::take(&mut self.sanitize_buf);
+            let verdict = match self.sanitize_snapshot(&mut buf, snapshot, current) {
+                Ok(()) => self.decide(now_ns, &buf, current),
+                Err(e) => {
+                    // Majority-invalid telemetry: hold the last-good
+                    // deployment, never act on this window.
+                    self.fault_stats.vetoed_windows += 1;
+                    self.history.push(DecisionRecord {
+                        at_ns: now_ns,
+                        plan: None,
+                        achieved_ratio: None,
+                        boost: 1.0,
+                        acted: false,
+                        error: Some(e),
+                    });
+                    ControllerVerdict::NoAction
+                }
+            };
+            self.sanitize_buf = buf;
+            verdict
+        } else {
+            self.decide(now_ns, snapshot, current)
+        };
+        if self.config.rescale_timeout_intervals > 0 {
+            if let ControllerVerdict::Rescale(plan) = &verdict {
+                self.requested_plan = Some(plan.clone());
+                self.awaiting_intervals = 0;
+                self.retries_used = 0;
+                self.backoff_remaining = 0;
+            }
+        }
+        verdict
+    }
 
+    fn on_deployed(&mut self, _now_ns: u64, deployment: &Deployment) {
+        if self.config.rescale_timeout_intervals > 0 {
+            if let Some(requested) = &self.requested_plan {
+                if deployment != requested {
+                    // Partial landing: something deployed, but not the plan
+                    // that was asked for. Keep waiting; the timeout path
+                    // verifies the live deployment and re-issues the plan.
+                    self.awaiting_intervals = self
+                        .awaiting_intervals
+                        .max(self.config.rescale_timeout_intervals);
+                    return;
+                }
+            }
+            self.requested_plan = None;
+            self.awaiting_intervals = 0;
+            self.retries_used = 0;
+            self.backoff_remaining = 0;
+            self.failed_deploy_streak = 0;
+        }
+        self.awaiting_deploy = false;
+        self.warmup_remaining = self.config.warmup_intervals;
+        self.decisions_made += 1;
+        self.pending.clear();
+    }
+
+    fn fault_stats(&self) -> ControllerFaultStats {
+        self.fault_stats
+    }
+}
+
+impl ScalingManager {
+    /// One policy-interval decision on an (already sanitized) snapshot:
+    /// rollback check, policy evaluation, target-rate-ratio boost,
+    /// activation combining, and the significance gates of §4.2.2.
+    fn decide(
+        &mut self,
+        now_ns: u64,
+        snapshot: &MetricsSnapshot,
+        current: &Deployment,
+    ) -> ControllerVerdict {
         let achieved_ratio = self.achieved_ratio(snapshot);
         let have_offered = self.fill_offered_scratch(snapshot);
 
@@ -437,6 +797,7 @@ impl ScalingController for ScalingManager {
                         achieved_ratio,
                         boost: 1.0,
                         acted: true,
+                        error: None,
                     });
                     self.rolled_back_from = Some(current.clone());
                     self.consecutive_rollbacks = self.consecutive_rollbacks.saturating_add(1);
@@ -465,25 +826,22 @@ impl ScalingController for ScalingManager {
         // Evaluate the policy with the boost learned so far (1.0 until a
         // correction fires), passed as an argument — the config is never
         // cloned on this path.
-        if self
-            .policy
-            .evaluate_boosted_into(
-                &self.graph,
-                snapshot,
-                current,
-                self.sticky_boost,
-                &mut self.workspace,
-            )
-            .is_err()
-        {
+        if let Err(e) = self.policy.evaluate_boosted_into(
+            &self.graph,
+            snapshot,
+            current,
+            self.sticky_boost,
+            &mut self.workspace,
+        ) {
             // Rates undefined this interval (e.g. an operator saw no
-            // input yet): defer, as warm-up would.
+            // input yet): defer, as warm-up would, recording why.
             self.history.push(DecisionRecord {
                 at_ns: now_ns,
                 plan: None,
                 achieved_ratio,
                 boost: 1.0,
                 acted: false,
+                error: Some(e),
             });
             return ControllerVerdict::NoAction;
         }
@@ -541,7 +899,20 @@ impl ScalingController for ScalingManager {
         let mut acted = false;
         let mut verdict = ControllerVerdict::NoAction;
         if self.pending.len() == self.config.activation_intervals.max(1) as usize {
-            let mut combined = self.combine_pending();
+            let mut combined = match self.combine_pending() {
+                Ok(combined) => combined,
+                Err(e) => {
+                    self.history.push(DecisionRecord {
+                        at_ns: now_ns,
+                        plan: Some(plan),
+                        achieved_ratio,
+                        boost,
+                        acted: false,
+                        error: Some(e),
+                    });
+                    return ControllerVerdict::NoAction;
+                }
+            };
             let floor_binding = self.apply_multi_dim(&mut combined, current, snapshot);
             let delta = combined.max_delta(current);
             // A plan that only removes instances cannot fix a rate
@@ -599,15 +970,9 @@ impl ScalingController for ScalingManager {
             achieved_ratio,
             boost,
             acted,
+            error: None,
         });
         verdict
-    }
-
-    fn on_deployed(&mut self, _now_ns: u64, _deployment: &Deployment) {
-        self.awaiting_deploy = false;
-        self.warmup_remaining = self.config.warmup_intervals;
-        self.decisions_made += 1;
-        self.pending.clear();
     }
 }
 
@@ -1024,6 +1389,164 @@ mod tests {
         let plan = v.rescale().expect("binding state floor must act");
         assert_eq!(plan.parallelism(o), 3);
         assert_eq!(plan.state_budget(o), 4e8);
+    }
+
+    #[test]
+    fn hardened_repairs_broken_operator_from_last_good() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                validate_snapshots: true,
+                ..Default::default()
+            },
+        );
+        let mut current = Deployment::uniform(&mgr.graph, 1);
+        current.set(f, 4);
+        current.set(c, 8);
+        // A healthy window captures the last-good snapshot.
+        let snap_ok = snapshot((s, f, c), &current, 1.0);
+        assert!(!mgr.on_metrics(0, &snap_ok, &current).is_rescale());
+        // flat_map's slots vanish: the vanilla path would defer, the
+        // hardened path repairs from last-good and evaluates cleanly.
+        let mut broken = snap_ok.clone();
+        broken.remove_operator(f);
+        assert!(!mgr.on_metrics(1, &broken, &current).is_rescale());
+        let last = mgr.history().last().unwrap();
+        assert!(last.plan.is_some(), "repaired window must evaluate");
+        assert!(last.error.is_none());
+        assert_eq!(mgr.fault_stats().repaired_windows, 1);
+    }
+
+    #[test]
+    fn hardened_vetoes_majority_invalid_snapshot() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                validate_snapshots: true,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let mut snap = snapshot((s, f, c), &current, 0.25);
+        snap.remove_operator(f);
+        snap.remove_operator(c);
+        // No last-good yet and 2 of 3 operators invalid: veto, hold.
+        assert!(!mgr.on_metrics(0, &snap, &current).is_rescale());
+        assert_eq!(mgr.fault_stats().vetoed_windows, 1);
+        assert!(matches!(
+            mgr.history().last().unwrap().error,
+            Some(Ds2Error::DegradedTelemetry {
+                invalid: 2,
+                total: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn hardened_retries_unacknowledged_rescale_and_gives_up_at_cap() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                rescale_timeout_intervals: 1,
+                max_rescale_retries: 2,
+                rollback_ban_intervals: 100,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.25);
+        let plan = mgr
+            .on_metrics(0, &snap, &current)
+            .rescale()
+            .expect("must act")
+            .clone();
+        // The acknowledgement never arrives and the deployment never
+        // changes: the manager may retry up to the cap, always with the
+        // same plan, then must give up and go quiet (the abandoned plan
+        // stays banned).
+        let mut issued = 0;
+        for t in 1..40 {
+            if let Some(p) = mgr.on_metrics(t, &snap, &current).rescale() {
+                assert_eq!(p, &plan, "retries must re-issue the same plan");
+                issued += 1;
+            }
+        }
+        assert_eq!(issued, 2, "retry cap bounds re-issues");
+        assert_eq!(mgr.fault_stats().retries, 2);
+        assert_eq!(mgr.fault_stats().abandoned_rescales, 1);
+        assert!(matches!(
+            mgr.history()
+                .iter()
+                .filter_map(|r| r.error.as_ref())
+                .next_back(),
+            Some(Ds2Error::RescaleRetriesExhausted { retries: 2 })
+        ));
+    }
+
+    #[test]
+    fn hardened_self_acknowledges_landed_rescale() {
+        let (g, s, f, c) = wordcount();
+        let mut mgr = ScalingManager::new(
+            g,
+            ManagerConfig {
+                rescale_timeout_intervals: 2,
+                ..Default::default()
+            },
+        );
+        let current = Deployment::uniform(&mgr.graph, 1);
+        let snap = snapshot((s, f, c), &current, 0.25);
+        let plan = mgr
+            .on_metrics(0, &snap, &current)
+            .rescale()
+            .expect("must act")
+            .clone();
+        // The rescale landed (the live deployment equals the plan) but the
+        // acknowledgement was lost: the verify step must self-acknowledge
+        // instead of re-issuing.
+        let snap2 = snapshot((s, f, c), &plan, 1.0);
+        assert!(!mgr.on_metrics(1, &snap2, &plan).is_rescale());
+        assert!(!mgr.on_metrics(2, &snap2, &plan).is_rescale());
+        assert_eq!(mgr.decisions_made(), 1);
+        assert_eq!(mgr.fault_stats().retries, 0);
+    }
+
+    #[test]
+    fn outlier_rejection_ignores_straggler_instance() {
+        let (g, s, f, c) = wordcount();
+        let mut current = Deployment::uniform(&g, 1);
+        current.set(f, 4);
+        current.set(c, 8);
+        // Keeping up, but one flat_map instance's counters claim a true
+        // rate 20x below its siblings (a straggler / broken counter).
+        let mut snap = snapshot((s, f, c), &current, 1.0);
+        snap.operator_mut(f).unwrap().instances[0].records_in = 5;
+        let mut vanilla = ScalingManager::new(
+            g.clone(),
+            ManagerConfig {
+                min_change: 0,
+                ..Default::default()
+            },
+        );
+        let mut hardened = ScalingManager::new(
+            g,
+            ManagerConfig {
+                min_change: 0,
+                outlier_rejection: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            vanilla.on_metrics(0, &snap, &current).is_rescale(),
+            "the straggler drags vanilla's capacity estimate into churn"
+        );
+        assert!(
+            !hardened.on_metrics(0, &snap, &current).is_rescale(),
+            "median rejection must neutralize the straggler"
+        );
+        assert!(hardened.fault_stats().outliers_rejected >= 1);
     }
 
     #[test]

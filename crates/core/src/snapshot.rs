@@ -81,6 +81,19 @@ impl MetricsSnapshot {
         self.operators.remove(op)
     }
 
+    /// Mutable access to an operator's metrics, if present. Unlike
+    /// [`Self::operator_slot`] this does not clear the instance rows, so it
+    /// can be used to edit reported samples in place (fault injection,
+    /// sanitization).
+    pub fn operator_mut(&mut self, op: OperatorId) -> Option<&mut OperatorMetrics> {
+        self.operators.get_mut(op)
+    }
+
+    /// Removes the offered rate recorded for one source, returning it.
+    pub fn remove_source_rate(&mut self, op: OperatorId) -> Option<f64> {
+        self.source_rates.remove(op)
+    }
+
     /// Records the offered rate of a source in records/second.
     pub fn set_source_rate(&mut self, op: OperatorId, rate: f64) {
         self.source_rates.insert(op, rate);

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use ds2_core::controller::{ControllerVerdict, ScalingController};
 use ds2_core::deployment::Deployment;
+use ds2_core::error::Ds2Error;
 
 use crate::engine::RunningJob;
 
@@ -36,6 +37,10 @@ pub struct ControlEvent {
     pub rescaled_to: Option<Deployment>,
     /// Redeployment downtime, if a rescale happened.
     pub downtime: Option<Duration>,
+    /// The typed failure, if an attempted rescale was aborted (e.g. a
+    /// wedged worker blew the halt deadline). The loop stops on the first
+    /// such error — the job is no longer running.
+    pub error: Option<Ds2Error>,
 }
 
 /// Runs `controller` against `job` for the configured duration, applying
@@ -64,18 +69,33 @@ where
                 at: start.elapsed(),
                 rescaled_to: None,
                 downtime: None,
+                error: None,
             }),
-            ControllerVerdict::Rescale(plan) => {
-                let downtime = job.rescale(plan.clone());
-                controller.on_deployed(job.elapsed().as_nanos() as u64, &plan);
-                // Discard metrics accumulated across the downtime.
-                let _ = job.collect_snapshot();
-                events.push(ControlEvent {
-                    at: start.elapsed(),
-                    rescaled_to: Some(plan),
-                    downtime: Some(downtime),
-                });
-            }
+            ControllerVerdict::Rescale(plan) => match job.rescale(plan.clone()) {
+                Ok(downtime) => {
+                    controller.on_deployed(job.elapsed().as_nanos() as u64, &plan);
+                    // Discard metrics accumulated across the downtime.
+                    let _ = job.collect_snapshot();
+                    events.push(ControlEvent {
+                        at: start.elapsed(),
+                        rescaled_to: Some(plan),
+                        downtime: Some(downtime),
+                        error: None,
+                    });
+                }
+                Err(e) => {
+                    // The rescale aborted: the controller is NOT told the
+                    // plan deployed, and with the job halted there is
+                    // nothing left to control.
+                    events.push(ControlEvent {
+                        at: start.elapsed(),
+                        rescaled_to: None,
+                        downtime: None,
+                        error: Some(e),
+                    });
+                    break;
+                }
+            },
         }
     }
     events

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use ds2_core::deployment::Deployment;
+use ds2_core::error::Ds2Error;
 use ds2_core::graph::OperatorId;
 use ds2_core::snapshot::MetricsSnapshot;
 use ds2_metrics::counters::{CounterTotals, SharedCounters};
@@ -75,6 +76,10 @@ pub struct RunningJob<R> {
     epoch: Instant,
     last_snapshot: Duration,
     rescales: u32,
+    /// State drained from instances that halted cleanly during a rescale
+    /// that then timed out. Kept so [`shutdown`](Self::shutdown) still
+    /// returns everything salvageable after an aborted rescale.
+    salvaged: BTreeMap<OperatorId, Vec<StateEntry>>,
 }
 
 impl<R: Clone + Send + 'static> RunningJob<R> {
@@ -92,6 +97,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
             epoch: Instant::now(),
             last_snapshot: Duration::ZERO,
             rescales: 0,
+            salvaged: BTreeMap::new(),
         };
         job.spawn_all(BTreeMap::new());
         job
@@ -172,7 +178,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 let routes = routes_for(op, &op_spec.key_fn);
                 let c = Arc::clone(&counters);
                 let join = std::thread::Builder::new()
-                    .name(format!("{op}-{k}"))
+                    .name(format!("{}-{k}", self.spec.graph.name(op)))
                     .spawn(move || Some(worker_loop(logic, receiver, routes, c)))
                     .expect("spawn worker");
                 handles.push(InstanceHandle {
@@ -197,7 +203,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 let rate = src.rate / p as f64;
                 let batch = self.spec.batch_size;
                 let join = std::thread::Builder::new()
-                    .name(format!("{op}-src-{k}"))
+                    .name(format!("{}-src-{k}", self.spec.graph.name(op)))
                     .spawn(move || {
                         source_loop(generate, rate, batch, routes, c, stop);
                         None
@@ -244,23 +250,100 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
             }
             state.insert(op, entries);
         }
+        self.merge_salvaged(&mut state);
         state
+    }
+
+    /// Merges any stash from a previously aborted rescale into `state`.
+    fn merge_salvaged(&mut self, state: &mut BTreeMap<OperatorId, Vec<StateEntry>>) {
+        for (op, entries) in std::mem::take(&mut self.salvaged) {
+            state.entry(op).or_default().extend(entries);
+        }
+    }
+
+    /// Like [`halt`](Self::halt), but gives up after `deadline`: instances
+    /// are joined as they finish (polling, since a wedged worker would
+    /// block a plain `join`), and any instance still running at the
+    /// deadline is abandoned — its thread detaches and its state is lost,
+    /// exactly the cost a real savepoint timeout pays. State drained from
+    /// the instances that did halt is stashed for [`shutdown`](Self::shutdown).
+    fn halt_within(
+        &mut self,
+        deadline: Duration,
+    ) -> Result<BTreeMap<OperatorId, Vec<StateEntry>>, Ds2Error> {
+        self.stop.store(true, Ordering::SeqCst);
+        let limit = Instant::now() + deadline;
+        let mut state: BTreeMap<OperatorId, Vec<StateEntry>> = BTreeMap::new();
+        loop {
+            let mut pending = 0usize;
+            for (&op, handles) in self.instances.iter_mut() {
+                let mut remaining = Vec::new();
+                for h in handles.drain(..) {
+                    if h.join.is_finished() {
+                        if let Some(mut logic) = h.join.join().expect("worker thread panicked") {
+                            state.entry(op).or_default().extend(logic.drain_state());
+                        }
+                    } else {
+                        remaining.push(h);
+                    }
+                }
+                pending += remaining.len();
+                *handles = remaining;
+            }
+            if pending == 0 {
+                self.instances.clear();
+                self.merge_salvaged(&mut state);
+                return Ok(state);
+            }
+            if Instant::now() >= limit {
+                let wedged: Vec<String> = self
+                    .instances
+                    .values()
+                    .flatten()
+                    .map(|h| h.join.thread().name().unwrap_or("<unnamed>").to_string())
+                    .collect();
+                self.instances.clear();
+                for (op, entries) in state {
+                    self.salvaged.entry(op).or_default().extend(entries);
+                }
+                return Err(Ds2Error::RescaleTimedOut(format!(
+                    "{} instance(s) failed to halt within {:?}: {}",
+                    wedged.len(),
+                    deadline,
+                    wedged.join(", ")
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Stop-the-world rescale: halt, drain state, redeploy with `plan`.
     ///
     /// Returns the downtime (the paper's savepoint-and-restore latency).
-    pub fn rescale(&mut self, plan: Deployment) -> Duration {
-        plan.validate(&self.spec.graph).expect("invalid plan");
+    ///
+    /// # Errors
+    ///
+    /// [`Ds2Error::InvalidDeployment`] if `plan` does not match the graph,
+    /// or — with [`JobSpec::rescale_timeout`] set — [`Ds2Error::RescaleTimedOut`]
+    /// if a worker fails to halt before the deadline. A timed-out rescale
+    /// aborts the job: no new instances are deployed, the rescale counter
+    /// is untouched, and the state salvaged from the workers that did halt
+    /// is returned by the next [`shutdown`](Self::shutdown).
+    pub fn rescale(&mut self, plan: Deployment) -> Result<Duration, Ds2Error> {
+        plan.validate(&self.spec.graph)?;
         let t0 = Instant::now();
-        let state = self.halt();
+        let state = match self.spec.rescale_timeout {
+            Some(deadline) => self.halt_within(deadline)?,
+            None => self.halt(),
+        };
         self.deployment = plan;
         self.spawn_all(state);
         self.rescales += 1;
-        t0.elapsed()
+        Ok(t0.elapsed())
     }
 
-    /// Shuts the job down, returning the final drained state.
+    /// Shuts the job down, returning the final drained state (including
+    /// anything salvaged from an aborted rescale).
     pub fn shutdown(mut self) -> BTreeMap<OperatorId, Vec<StateEntry>> {
         self.halt()
     }
@@ -493,7 +576,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(400));
         let mut plan = job.deployment().clone();
         plan.set(c, 4);
-        let downtime = job.rescale(plan);
+        let downtime = job.rescale(plan).expect("rescale");
         assert!(downtime < Duration::from_secs(5));
         assert_eq!(job.rescales(), 1);
         std::thread::sleep(Duration::from_millis(400));
@@ -529,14 +612,14 @@ mod tests {
         // more instances than before.
         let mut plan = job.deployment().clone();
         plan.set(c, 5);
-        job.rescale(plan);
+        job.rescale(plan).expect("rescale up");
         std::thread::sleep(Duration::from_millis(300));
 
         // Scale down: 5 -> 1 instance; all 64 restored keys must land on
         // the single remaining instance.
         let mut plan = job.deployment().clone();
         plan.set(c, 1);
-        job.rescale(plan);
+        job.rescale(plan).expect("rescale down");
         std::thread::sleep(Duration::from_millis(300));
         assert_eq!(job.rescales(), 2);
 
@@ -556,6 +639,81 @@ mod tests {
         assert_eq!(
             drained, sink_counts,
             "keyed state diverged from sink totals across up+down rescale"
+        );
+    }
+
+    /// A worker wedged in user code must not hang the control plane: with
+    /// a rescale deadline set, the rescale fails with the typed
+    /// [`Ds2Error::RescaleTimedOut`], the deployment and rescale counter
+    /// are untouched, and the keyed state drained from the workers that
+    /// *did* halt survives through shutdown — nothing beyond the wedged
+    /// instance's own state is lost.
+    #[test]
+    fn rescale_timeout_on_wedged_worker_salvages_state() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let stall = b.operator("stall");
+        let c = b.operator("count");
+        b.connect(s, stall);
+        b.connect(s, c);
+        let g = b.build().unwrap();
+
+        let sink: Shared = Arc::new(Mutex::new(HashMap::new()));
+        let sink2 = Arc::clone(&sink);
+        let mut spec: JobSpec<u64> = JobSpec::new(g.clone());
+        // Large channel capacity so the wedged instance never backpressures
+        // the source; the counting branch keeps flowing.
+        spec.channel_capacity = 4096;
+        spec.rescale_timeout = Some(Duration::from_millis(300));
+        spec.source(s, 20_000.0, |n| n % 64, |&r| r);
+        // Wedges on the first record: stuck in user code for an hour.
+        spec.operator(
+            stall,
+            || {
+                Box::new(FnLogic::new(|_r: u64, _out: &mut Vec<u64>| {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }))
+            },
+            |&r| r,
+        );
+        spec.operator(
+            c,
+            move || {
+                Box::new(CountLogic {
+                    counts: HashMap::new(),
+                    sink: Arc::clone(&sink2),
+                })
+            },
+            |&r| r,
+        );
+
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 1));
+        std::thread::sleep(Duration::from_millis(400));
+
+        let mut plan = job.deployment().clone();
+        plan.set(c, 2);
+        let err = job.rescale(plan).expect_err("wedged worker must time out");
+        assert!(
+            matches!(err, Ds2Error::RescaleTimedOut(_)),
+            "expected RescaleTimedOut, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("stall"),
+            "error names the wedged instance: {err}"
+        );
+        assert_eq!(job.rescales(), 0, "aborted rescale must not count");
+
+        // The counting operator halted cleanly during the aborted rescale;
+        // its salvaged state must come back intact on shutdown.
+        let mut state = job.shutdown();
+        let mut drained: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in state.remove(&c).unwrap_or_default() {
+            *drained.entry(k).or_insert(0) += *v.downcast::<u64>().unwrap();
+        }
+        assert_eq!(
+            drained,
+            sink.lock().clone(),
+            "state salvaged across the aborted rescale diverged from sink totals"
         );
     }
 

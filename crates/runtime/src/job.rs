@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use ds2_core::graph::{LogicalGraph, OperatorId};
 
@@ -68,6 +69,12 @@ pub struct JobSpec<R> {
     pub batch_size: usize,
     /// Bounded channel capacity, in batches, per receiving instance.
     pub channel_capacity: usize,
+    /// Deadline for the stop-the-world halt during a rescale. `None` waits
+    /// forever (the pre-hardening behaviour); with a deadline set, a worker
+    /// that fails to halt in time — wedged in user code — aborts the
+    /// rescale with [`Ds2Error::RescaleTimedOut`](ds2_core::error::Ds2Error)
+    /// instead of hanging the control plane.
+    pub rescale_timeout: Option<Duration>,
 }
 
 impl<R> JobSpec<R> {
@@ -80,6 +87,7 @@ impl<R> JobSpec<R> {
             sources: BTreeMap::new(),
             batch_size: 128,
             channel_capacity: 64,
+            rescale_timeout: None,
         }
     }
 

@@ -8,12 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use ds2_core::controller::{ControllerVerdict, ScalingController};
+use ds2_core::controller::{ControllerFaultStats, ControllerVerdict, ScalingController};
 use ds2_core::deployment::Deployment;
 use ds2_core::graph::OperatorId;
 use ds2_core::snapshot::MetricsSnapshot;
 
 use crate::engine::FluidEngine;
+use crate::faults::{ActuationOutcome, FaultInjector, FaultPlan, FaultTally};
 use crate::latency::LatencyRecorder;
 
 /// Harness configuration.
@@ -28,6 +29,9 @@ pub struct HarnessConfig {
     /// Timely mode: convert per-operator plans into a global worker count
     /// (the §4.3 summation rule) and rescale the worker pool instead.
     pub timely: bool,
+    /// Deterministic fault plan injected into metric snapshots and rescale
+    /// actuation; `None` (default) runs the loop fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for HarnessConfig {
@@ -37,6 +41,7 @@ impl Default for HarnessConfig {
             run_duration_ns: 600_000_000_000,
             timeline_resolution_ns: 1_000_000_000,
             timely: false,
+            faults: None,
         }
     }
 }
@@ -92,6 +97,11 @@ pub struct RunResult {
     pub latency: LatencyRecorder,
     /// Completed epochs `(index, latency_ns)`.
     pub epochs: Vec<(u64, u64)>,
+    /// Faults injected into the run (all-zero for fault-free runs).
+    pub faults: FaultTally,
+    /// The controller's degraded-input counters (all-zero for controllers
+    /// without hardening).
+    pub controller_faults: ControllerFaultStats,
 }
 
 impl RunResult {
@@ -174,6 +184,10 @@ impl<C: ScalingController> ClosedLoop<C> {
     pub fn run_reusing(&mut self, snapshot: &mut MetricsSnapshot) -> RunResult {
         let mut timeline = Vec::new();
         let mut decisions = Vec::new();
+        let mut injector = self
+            .cfg
+            .faults
+            .map(|plan| FaultInjector::new(plan, self.cfg.run_duration_ns));
 
         let start = self.engine.now_ns();
         let end = start + self.cfg.run_duration_ns;
@@ -263,6 +277,16 @@ impl<C: ScalingController> ClosedLoop<C> {
 
             if now >= next_policy && !self.engine.is_halted() {
                 self.engine.collect_snapshot_into(snapshot);
+                // Metric faults mutate only the collected snapshot, never
+                // the engine, so fast-forward replay stays valid.
+                if let Some(inj) = injector.as_mut() {
+                    inj.apply_metrics(
+                        snapshot,
+                        self.engine.graph(),
+                        self.engine.deployment(),
+                        now - start,
+                    );
+                }
                 // The deployment is borrowed, not cloned: on the steady
                 // path (no action, or a plan equal to the current one) the
                 // policy interval allocates nothing here.
@@ -295,6 +319,34 @@ impl<C: ScalingController> ClosedLoop<C> {
                             }
                         } else if plan == *self.engine.deployment() {
                             self.controller.on_deployed(now, self.engine.deployment());
+                        } else if let Some(inj) = injector.as_mut() {
+                            let outcome = inj.actuation(
+                                &plan,
+                                self.engine.deployment(),
+                                self.engine.graph(),
+                                now - start,
+                            );
+                            match outcome {
+                                ActuationOutcome::Silent => {
+                                    // The command vanishes: no redeploy, no
+                                    // acknowledgement, nothing recorded.
+                                }
+                                ActuationOutcome::Timeout => {
+                                    // The job pays the redeploy downtime but
+                                    // comes back on its old configuration;
+                                    // the acknowledgement reports that.
+                                    let old = self.engine.deployment().clone();
+                                    self.engine.request_rescale(old);
+                                }
+                                ActuationOutcome::Land(landed) => {
+                                    decisions.push(DecisionPoint {
+                                        at_ns: now,
+                                        plan: landed.clone(),
+                                        timely_workers: None,
+                                    });
+                                    self.engine.request_rescale(landed);
+                                }
+                            }
                         } else {
                             decisions.push(DecisionPoint {
                                 at_ns: now,
@@ -316,6 +368,8 @@ impl<C: ScalingController> ClosedLoop<C> {
             final_workers: self.engine.timely_workers(),
             latency: self.engine.latency().clone(),
             epochs: self.engine.epochs().completed().to_vec(),
+            faults: injector.map(|i| i.tally()).unwrap_or_default(),
+            controller_faults: self.controller.fault_stats(),
         }
     }
 }

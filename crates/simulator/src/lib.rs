@@ -20,6 +20,8 @@
 //! * [`harness`] — the closed control loop driving any
 //!   [`ScalingController`](ds2_core::controller::ScalingController) against
 //!   the engine;
+//! * [`faults`] — deterministic, seeded fault injection (degraded metric
+//!   snapshots, failed/partial/timed-out rescales) layered onto the loop;
 //! * [`scenarios`] — seeded random scenario generation (topologies,
 //!   workloads, profiles) and the scenario-matrix runner scoring
 //!   steps-to-convergence, provisioning accuracy and stability for DS2 and
@@ -30,6 +32,7 @@
 
 pub mod engine;
 pub mod fastforward;
+pub mod faults;
 pub mod harness;
 pub mod latency;
 pub mod profile;
@@ -41,6 +44,9 @@ pub use engine::{
     EngineConfig, EngineMode, FluidEngine, InstrumentationConfig, TickEvents, TickStats,
 };
 pub use fastforward::FastForwardStats;
+pub use faults::{
+    ActuationOutcome, FaultInjector, FaultParams, FaultPlan, FaultProfile, FaultTally,
+};
 pub use harness::{ClosedLoop, HarnessConfig, RunResult, TimelinePoint};
 pub use latency::{EpochTracker, LatencyRecorder};
 pub use profile::{OperatorProfile, OutputMode, ProfileMap, ScalingCurve};

@@ -43,6 +43,7 @@ use ds2_core::policy::{PolicyConfig, PolicyWorkspace};
 use ds2_core::snapshot::MetricsSnapshot;
 
 use crate::engine::{EngineConfig, FluidEngine, InstrumentationConfig};
+use crate::faults::{FaultPlan, FaultProfile};
 use crate::harness::{ClosedLoop, HarnessConfig, RunResult};
 
 use super::generator::{GeneratorConfig, ScenarioSpec};
@@ -80,6 +81,12 @@ pub enum ControllerKind {
     Threshold,
     /// M/M/c queueing-theory provisioning.
     Queueing,
+    /// The DS2 manager with the robustness hardening switched on: snapshot
+    /// validation with last-good repair, median outlier rejection, and
+    /// verify-then-retry on unacknowledged rescales. Not in
+    /// [`ControllerKind::ALL`] — the headline matrix stays vanilla; this
+    /// kind is opted into by the robustness comparison runs.
+    Ds2Hardened,
     /// The DS2 manager on the multi-dimensional resource model: key-class
     /// split detection plus the scenario's per-instance state budget. Not
     /// in [`ControllerKind::ALL`] — the headline matrix (and its golden
@@ -105,6 +112,7 @@ impl ControllerKind {
             ControllerKind::Dhalion => "dhalion",
             ControllerKind::Threshold => "threshold",
             ControllerKind::Queueing => "queueing",
+            ControllerKind::Ds2Hardened => "ds2_hardened",
             ControllerKind::Ds2MultiDim => "ds2_multidim",
         }
     }
@@ -137,6 +145,12 @@ pub struct MatrixConfig {
     /// bit-identical either way — `false` is the `--exact` escape hatch
     /// that forces tick-by-tick execution, and CI diffs the two.
     pub fast_forward: bool,
+    /// Fault-injection profile layered onto every cell
+    /// ([`FaultProfile::None`] by default — the fault-free matrix is
+    /// byte-identical to its pre-fault self). Fault draws are a pure
+    /// function of `(scenario seed, profile)`, so faulted matrices keep
+    /// every determinism guarantee (thread count, fast-forward, reruns).
+    pub faults: FaultProfile,
 }
 
 impl Default for MatrixConfig {
@@ -152,6 +166,7 @@ impl Default for MatrixConfig {
             max_parallelism: 64,
             threads: 0,
             fast_forward: true,
+            faults: FaultProfile::None,
         }
     }
 }
@@ -212,6 +227,18 @@ pub struct ScenarioOutcome {
     /// (key-class splits + state budgets). Reports grow per-dimension
     /// columns only when at least one outcome sets this.
     pub multidim: bool,
+    /// Whether the run had fault injection enabled. Reports grow the
+    /// robustness columns only when at least one outcome sets this.
+    pub faulted: bool,
+    /// Metric windows the injector touched (dropped, noised, staled or
+    /// straggled at least one sample). `0` without faults.
+    pub fault_windows: u32,
+    /// Decision windows the controller vetoed as degraded beyond repair
+    /// (hardened DS2 only; vanilla controllers never veto).
+    pub vetoed_windows: u32,
+    /// Rescale retries the controller spent on unacknowledged deployments
+    /// (hardened DS2 only).
+    pub retries: u32,
 }
 
 /// All outcomes of a matrix run.
@@ -250,6 +277,13 @@ pub struct ControllerSummary {
     pub mean_instance_hours: f64,
     /// Mean budgeted-operator instance-hours per run (state dimension).
     pub mean_state_budget_hours: f64,
+    /// Mean injector-touched metric windows per run (fault exposure; `0`
+    /// on fault-free matrices).
+    pub mean_fault_windows: f64,
+    /// Total decision windows vetoed as degraded across all runs.
+    pub total_vetoed: usize,
+    /// Total rescale retries spent across all runs.
+    pub total_retries: usize,
 }
 
 impl MatrixReport {
@@ -388,6 +422,14 @@ impl MatrixReport {
             total_decisions: outcomes.iter().map(|o| o.decisions_total).sum(),
             mean_instance_hours: mean(&instance_hours),
             mean_state_budget_hours: mean(&state_hours),
+            mean_fault_windows: mean(
+                &outcomes
+                    .iter()
+                    .map(|o| o.fault_windows as f64)
+                    .collect::<Vec<f64>>(),
+            ),
+            total_vetoed: outcomes.iter().map(|o| o.vetoed_windows as usize).sum(),
+            total_retries: outcomes.iter().map(|o| o.retries as usize).sum(),
         }
     }
 
@@ -399,6 +441,14 @@ impl MatrixReport {
         self.outcomes.iter().any(|o| o.multidim)
     }
 
+    /// Whether any outcome ran with fault injection — when true, the
+    /// rendered tables grow the robustness columns (`faultw`, `vetoed`,
+    /// `retries`). Fault-free reports render byte-identically to the
+    /// pre-fault format.
+    pub fn is_faulted(&self) -> bool {
+        self.outcomes.iter().any(|o| o.faulted)
+    }
+
     /// Renders a per-controller comparison table.
     ///
     /// Multi-dimensional reports (see [`is_multidim`](Self::is_multidim))
@@ -408,17 +458,26 @@ impl MatrixReport {
     /// bill).
     pub fn render(&self, controllers: &[ControllerKind]) -> String {
         let multidim = self.is_multidim();
-        let mut out = String::from(
-            "controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
+        let faulted = self.is_faulted();
+        // Faulted reports widen the name column for `ds2_hardened`;
+        // fault-free reports keep the classic widths byte-for-byte.
+        let name_w = if faulted { 12 } else { 10 };
+        let mut out = format!(
+            "{:<w$}  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
+            "controller",
+            w = name_w,
         );
         if multidim {
             out.push_str("  inst_hrs  state_hrs");
+        }
+        if faulted {
+            out.push_str("  faultw  vetoed  retries");
         }
         out.push('\n');
         for &kind in controllers {
             let s = self.summary(kind);
             out.push_str(&format!(
-                "{:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
+                "{:<w$}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
                 s.controller,
                 s.runs,
                 s.converged,
@@ -430,11 +489,18 @@ impl MatrixReport {
                 s.underprovisioned_runs,
                 s.mean_reversals,
                 s.total_decisions,
+                w = name_w,
             ));
             if multidim {
                 out.push_str(&format!(
                     "  {:>8.3}  {:>9.3}",
                     s.mean_instance_hours, s.mean_state_budget_hours,
+                ));
+            }
+            if faulted {
+                out.push_str(&format!(
+                    "  {:>6.1}  {:>6}  {:>7}",
+                    s.mean_fault_windows, s.total_vetoed, s.total_retries,
                 ));
             }
             out.push('\n');
@@ -448,18 +514,25 @@ impl MatrixReport {
     /// same per-dimension resource columns as [`render`](Self::render).
     pub fn render_families(&self, controllers: &[ControllerKind]) -> String {
         let multidim = self.is_multidim();
-        let mut out = String::from(
-            "family       controller  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
+        let faulted = self.is_faulted();
+        let name_w = if faulted { 12 } else { 10 };
+        let mut out = format!(
+            "family       {:<w$}  runs  conv  <=3steps  frac    mean_steps  max  over    under  reversals  decisions",
+            "controller",
+            w = name_w,
         );
         if multidim {
             out.push_str("  inst_hrs  state_hrs");
+        }
+        if faulted {
+            out.push_str("  faultw  vetoed  retries");
         }
         out.push('\n');
         for family in self.families() {
             for &kind in controllers {
                 let s = self.summary_for_family(kind, family);
                 out.push_str(&format!(
-                    "{:<11}  {:<10}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
+                    "{:<11}  {:<w$}  {:>4}  {:>4}  {:>8}  {:>5.2}  {:>10.2}  {:>3}  {:>6.2}  {:>5}  {:>9.2}  {:>9}",
                     family,
                     s.controller,
                     s.runs,
@@ -472,11 +545,18 @@ impl MatrixReport {
                     s.underprovisioned_runs,
                     s.mean_reversals,
                     s.total_decisions,
+                    w = name_w,
                 ));
                 if multidim {
                     out.push_str(&format!(
                         "  {:>8.3}  {:>9.3}",
                         s.mean_instance_hours, s.mean_state_budget_hours,
+                    ));
+                }
+                if faulted {
+                    out.push_str(&format!(
+                        "  {:>6.1}  {:>6}  {:>7}",
+                        s.mean_fault_windows, s.total_vetoed, s.total_retries,
                     ));
                 }
                 out.push('\n');
@@ -645,12 +725,16 @@ impl ScenarioMatrix {
             run_duration_ns: self.config.generator.run_duration_ns,
             timeline_resolution_ns: 1_000_000_000,
             timely: false,
+            // Fault draws are keyed on the scenario seed alone, so every
+            // controller in a cell row faces the *same* fault sequence.
+            faults: FaultPlan::new(spec.seed, self.config.faults),
         };
         let graph = spec.topology.graph.clone();
         match kind {
-            ControllerKind::Ds2 | ControllerKind::Ds2MultiDim => {
+            ControllerKind::Ds2 | ControllerKind::Ds2Hardened | ControllerKind::Ds2MultiDim => {
                 let config = match kind {
                     ControllerKind::Ds2MultiDim => self.ds2_multidim_config(spec),
+                    ControllerKind::Ds2Hardened => self.ds2_hardened_config(),
                     _ => self.ds2_config(),
                 };
                 // Thread the arena's policy workspace through the manager
@@ -715,6 +799,23 @@ impl ScenarioMatrix {
             },
             ..Default::default()
         }
+    }
+
+    /// The hardened DS2 configuration: [`ds2_config`] plus the robustness
+    /// knobs — snapshot validation with last-good repair, median outlier
+    /// rejection, and a one-interval rescale timeout with verify-then-retry.
+    /// On a fault-free matrix the hardened manager decides identically to
+    /// vanilla (the knobs only change behavior when telemetry is invalid or
+    /// a rescale goes unacknowledged).
+    ///
+    /// [`ds2_config`]: ScenarioMatrix::ds2_config
+    pub fn ds2_hardened_config(&self) -> ManagerConfig {
+        let mut config = self.ds2_config();
+        config.validate_snapshots = true;
+        config.outlier_rejection = true;
+        config.rescale_timeout_intervals = 1;
+        config.max_rescale_retries = 3;
+        config
     }
 
     /// The multi-dimensional DS2 configuration: [`ds2_config`] plus
@@ -906,6 +1007,10 @@ impl ScenarioMatrix {
             state_budget_hours,
             hot_share,
             multidim: kind == ControllerKind::Ds2MultiDim,
+            faulted: !self.config.faults.is_none(),
+            fault_windows: result.faults.faulted_windows,
+            vetoed_windows: result.controller_faults.vetoed_windows,
+            retries: result.controller_faults.retries,
         }
     }
 }

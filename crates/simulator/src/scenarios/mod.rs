@@ -53,6 +53,7 @@ pub mod nexmark;
 pub mod topology;
 pub mod workload;
 
+pub use crate::faults::FaultProfile;
 pub use generator::{GeneratorConfig, ScenarioSpec};
 pub use matrix::{
     parallelism_sequences, CellArena, ControllerKind, ControllerSummary, MatrixConfig,

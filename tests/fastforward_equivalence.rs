@@ -14,16 +14,25 @@
 //! replay), halt windows and post-deploy re-probing.
 
 use ds2::simulator::scenarios::{
-    CellArena, ControllerKind, GeneratorConfig, MatrixConfig, NexmarkQuery, ScenarioFamily,
-    ScenarioMatrix, ScenarioSpec, TopologyShape, WorkloadShape,
+    CellArena, ControllerKind, FaultProfile, GeneratorConfig, MatrixConfig, NexmarkQuery,
+    ScenarioFamily, ScenarioMatrix, ScenarioSpec, TopologyShape, WorkloadShape,
 };
 
 fn matrix(fast_forward: bool, generator: GeneratorConfig) -> ScenarioMatrix {
+    faulted_matrix(fast_forward, generator, FaultProfile::None)
+}
+
+fn faulted_matrix(
+    fast_forward: bool,
+    generator: GeneratorConfig,
+    faults: FaultProfile,
+) -> ScenarioMatrix {
     ScenarioMatrix::new(MatrixConfig {
         scenarios: 1,
         controllers: vec![ControllerKind::Ds2],
         generator,
         fast_forward,
+        faults,
         ..Default::default()
     })
 }
@@ -173,6 +182,72 @@ fn fastforward_is_exact_for_baseline_controllers() {
             assert_eq!(a, b, "seed {seed} {kind:?} diverged");
         }
     }
+}
+
+/// The equivalence survives fault injection, for every fault profile and
+/// for vanilla and hardened DS2 alike: metric faults mutate only the
+/// collected snapshot (never the engine, so replay proofs stay valid) and
+/// actuation faults are a pure function of the decision index — the
+/// faulted run must therefore stay bitwise identical to `--exact`, and
+/// reproduce bit-exactly from the same seed. The sample must actually
+/// exercise injected faults and hardened recovery, or the property is
+/// vacuous.
+#[test]
+fn fastforward_is_exact_under_fault_injection() {
+    let mut faulted_runs = 0usize;
+    let mut recoveries = 0usize;
+    for faults in [FaultProfile::Mild, FaultProfile::Harsh] {
+        for generator in [
+            GeneratorConfig {
+                run_duration_ns: 150_000_000_000,
+                ..Default::default()
+            },
+            GeneratorConfig {
+                families: vec![ScenarioFamily::Nexmark(NexmarkQuery::Q5)],
+                run_duration_ns: 150_000_000_000,
+                ..Default::default()
+            },
+            GeneratorConfig {
+                families: vec![ScenarioFamily::HotKey],
+                run_duration_ns: 150_000_000_000,
+                ..Default::default()
+            },
+        ] {
+            let fast = faulted_matrix(true, generator.clone(), faults);
+            let exact = faulted_matrix(false, generator.clone(), faults);
+            let mut arena_fast = CellArena::new();
+            let mut arena_exact = CellArena::new();
+            for seed in 0..6u64 {
+                let spec = ScenarioSpec::generate(seed, &generator);
+                for kind in [ControllerKind::Ds2, ControllerKind::Ds2Hardened] {
+                    let a = fast.run_one_raw(&spec, kind, &mut arena_fast);
+                    let b = exact.run_one_raw(&spec, kind, &mut arena_exact);
+                    assert_eq!(
+                        a,
+                        b,
+                        "seed {seed} ({} / {kind:?} / {faults:?}): \
+                         fast-forward diverged from exact execution",
+                        spec.family.name(),
+                    );
+                    // Same seed, same mode: bit-exact reproduction.
+                    let c = fast.run_one_raw(&spec, kind, &mut arena_fast);
+                    assert_eq!(a, c, "seed {seed} did not reproduce bit-exactly");
+                    if a.faults.faulted_windows > 0 {
+                        faulted_runs += 1;
+                    }
+                    recoveries += a.controller_faults.retries as usize;
+                }
+            }
+        }
+    }
+    assert!(
+        faulted_runs >= 30,
+        "only {faulted_runs} runs saw injected faults — sample too tame"
+    );
+    assert!(
+        recoveries > 0,
+        "no hardened retry fired — actuation faults never exercised recovery"
+    );
 }
 
 /// Scored outcomes (the matrix report) are equal too — the report-level
