@@ -36,6 +36,29 @@ pub enum Ds2Error {
         /// Total operators in the graph.
         total: usize,
     },
+    /// A supervised worker thread panicked inside operator logic. The
+    /// supervisor restarts the instance (restoring salvaged or checkpointed
+    /// state) instead of letting the panic wedge the job.
+    WorkerPanicked {
+        /// Operator whose instance panicked.
+        op: OperatorId,
+        /// Index of the panicked instance.
+        instance: usize,
+    },
+    /// A supervised worker stopped answering control commands (stuck in user
+    /// code); it was abandoned and replaced from the latest checkpoint.
+    WorkerWedged {
+        /// Operator whose instance wedged.
+        op: OperatorId,
+        /// Index of the wedged instance.
+        instance: usize,
+    },
+    /// Self-healing gave up: the bounded restart/redeploy budget was spent
+    /// without the job becoming healthy again.
+    RecoveryExhausted {
+        /// Recovery attempts spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Ds2Error {
@@ -60,6 +83,18 @@ impl fmt::Display for Ds2Error {
                     f,
                     "telemetry degraded: {invalid}/{total} operators invalid beyond repair"
                 )
+            }
+            Ds2Error::WorkerPanicked { op, instance } => {
+                write!(f, "worker {op}[{instance}] panicked in operator logic")
+            }
+            Ds2Error::WorkerWedged { op, instance } => {
+                write!(
+                    f,
+                    "worker {op}[{instance}] wedged (unresponsive to control commands)"
+                )
+            }
+            Ds2Error::RecoveryExhausted { attempts } => {
+                write!(f, "self-healing gave up after {attempts} recovery attempts")
             }
         }
     }

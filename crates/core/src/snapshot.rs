@@ -31,6 +31,11 @@ pub struct MetricsSnapshot {
     /// parallelism-only pipelines carry an empty map and compare equal to
     /// their pre-state-model selves.
     state_bytes: OpMap<f64>,
+    /// Records an operator dropped on its output path during the window
+    /// because a receiver was gone (degraded routing). Healthy runs never
+    /// report, so the map stays empty and snapshots compare equal to their
+    /// pre-drop-counter selves.
+    records_dropped: OpMap<u64>,
 }
 
 impl MetricsSnapshot {
@@ -45,6 +50,7 @@ impl MetricsSnapshot {
             operators: OpMap::with_len(n),
             source_rates: OpMap::with_len(n),
             state_bytes: OpMap::with_len(n),
+            records_dropped: OpMap::with_len(n),
         }
     }
 
@@ -55,6 +61,7 @@ impl MetricsSnapshot {
         self.operators.clear();
         self.source_rates.clear();
         self.state_bytes.clear();
+        self.records_dropped.clear();
     }
 
     /// Inserts metrics for one operator.
@@ -143,6 +150,23 @@ impl MetricsSnapshot {
         self.state_bytes.iter().map(|(op, &b)| (op, b))
     }
 
+    /// Records how many output records `op` dropped in the window because a
+    /// receiver had disconnected. Collectors only report non-zero counts.
+    pub fn set_records_dropped(&mut self, op: OperatorId, dropped: u64) {
+        self.records_dropped.insert(op, dropped);
+    }
+
+    /// Records `op` dropped on its output path in the window, if reported.
+    #[inline]
+    pub fn records_dropped(&self, op: OperatorId) -> Option<u64> {
+        self.records_dropped.get(op).copied()
+    }
+
+    /// All reported `(operator, dropped records)` pairs in id order.
+    pub fn records_dropped_iter(&self) -> impl Iterator<Item = (OperatorId, u64)> + '_ {
+        self.records_dropped.iter().map(|(op, &n)| (op, n))
+    }
+
     /// The observed (achieved) aggregate output rate of a source, from its
     /// instrumentation counters. Under backpressure this is lower than the
     /// offered rate recorded by [`MetricsSnapshot::set_source_rate`].
@@ -205,6 +229,7 @@ impl PartialEq for MetricsSnapshot {
                 .state_bytes_iter()
                 .map(|(op, b)| (op, b.to_bits()))
                 .eq(other.state_bytes_iter().map(|(op, b)| (op, b.to_bits())))
+            && self.records_dropped_iter().eq(other.records_dropped_iter())
     }
 }
 
@@ -294,6 +319,18 @@ mod tests {
         assert_ne!(snap, plain, "state report must be observable");
         snap.clear();
         assert_eq!(snap.state_bytes(OperatorId(1)), None);
+    }
+
+    #[test]
+    fn records_dropped_round_trip_and_participate_in_equality() {
+        let (_, _, mut snap) = setup();
+        let (_, _, plain) = setup();
+        assert_eq!(snap.records_dropped(OperatorId(1)), None);
+        snap.set_records_dropped(OperatorId(1), 42);
+        assert_eq!(snap.records_dropped(OperatorId(1)), Some(42));
+        assert_ne!(snap, plain, "dropped-record report must be observable");
+        snap.clear();
+        assert_eq!(snap.records_dropped(OperatorId(1)), None);
     }
 
     #[test]

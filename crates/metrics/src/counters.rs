@@ -159,6 +159,7 @@ pub struct SharedCounters {
     serialization_ns: AtomicU64,
     wait_input_ns: AtomicU64,
     wait_output_ns: AtomicU64,
+    records_dropped: AtomicU64,
 }
 
 impl SharedCounters {
@@ -209,6 +210,13 @@ impl SharedCounters {
         self.wait_output_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records `n` records dropped on the output path (a send whose receiver
+    /// was gone). Zero in healthy runs; non-zero means degraded routing.
+    #[inline]
+    pub fn add_records_dropped(&self, n: u64) {
+        self.records_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Reads the cumulative totals (does not reset).
     pub fn totals(&self) -> CounterTotals {
         CounterTotals {
@@ -219,6 +227,7 @@ impl SharedCounters {
                 + self.serialization_ns.load(Ordering::Relaxed),
             wait_input_ns: self.wait_input_ns.load(Ordering::Relaxed),
             wait_output_ns: self.wait_output_ns.load(Ordering::Relaxed),
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +245,8 @@ pub struct CounterTotals {
     pub wait_input_ns: u64,
     /// Cumulative nanoseconds waiting on output.
     pub wait_output_ns: u64,
+    /// Cumulative records dropped because an output receiver was gone.
+    pub records_dropped: u64,
 }
 
 impl CounterTotals {
@@ -366,6 +377,19 @@ mod tests {
         assert_eq!(m.useful_ns, 500);
         assert_eq!(m.wait_input_ns, 300);
         assert_eq!(m.window_ns, 2_000);
+    }
+
+    #[test]
+    fn records_dropped_accumulates_separately() {
+        let c = SharedCounters::new();
+        c.add_records_out(10);
+        c.add_records_dropped(3);
+        let t = c.totals();
+        assert_eq!(t.records_out, 10);
+        assert_eq!(t.records_dropped, 3);
+        // Drops are cumulative like every other counter, so windows diff.
+        c.add_records_dropped(2);
+        assert_eq!(c.totals().records_dropped, 5);
     }
 
     #[test]

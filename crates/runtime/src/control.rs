@@ -1,6 +1,20 @@
 //! The live control loop: a [`ScalingController`] driving a
 //! [`RunningJob`](crate::engine::RunningJob) over wall-clock time — the
 //! real-system counterpart of the simulator harness (paper Fig. 5).
+//!
+//! The loop is *self-healing*: a failed rescale (wedged worker blowing the
+//! halt deadline) or a worker panic no longer ends the run. Failures are
+//! recorded as typed events, the job is redeployed from the last good
+//! deployment plus the latest checkpoint, and the controller keeps being
+//! driven — up to a bounded number of recoveries with exponential backoff,
+//! after which the loop gives up with
+//! [`Ds2Error::RecoveryExhausted`](ds2_core::error::Ds2Error).
+//!
+//! Ticks are scheduled against absolute deadlines (`start + k * interval`),
+//! not relative sleeps, so time spent snapshotting, rescaling, or healing
+//! does not stretch the policy interval. When one tick overruns, the loop
+//! fires the latest missed deadline once and skips the rest — it never
+//! bursts to catch up.
 
 use std::time::{Duration, Instant};
 
@@ -17,6 +31,14 @@ pub struct ControlConfig {
     pub interval: Duration,
     /// Total run time.
     pub duration: Duration,
+    /// Full redeploys the loop may perform after failed rescales before
+    /// giving up. Instance-level panic restarts are budgeted separately
+    /// (per instance, in
+    /// [`SupervisionConfig`](crate::supervisor::SupervisionConfig)).
+    pub max_recoveries: u32,
+    /// Delay before the first redeploy after a failed rescale; doubles per
+    /// recovery, capped at `interval`.
+    pub recovery_backoff: Duration,
 }
 
 impl Default for ControlConfig {
@@ -24,6 +46,8 @@ impl Default for ControlConfig {
         Self {
             interval: Duration::from_secs(1),
             duration: Duration::from_secs(10),
+            max_recoveries: 3,
+            recovery_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -37,15 +61,30 @@ pub struct ControlEvent {
     pub rescaled_to: Option<Deployment>,
     /// Redeployment downtime, if a rescale happened.
     pub downtime: Option<Duration>,
-    /// The typed failure, if an attempted rescale was aborted (e.g. a
-    /// wedged worker blew the halt deadline). The loop stops on the first
-    /// such error — the job is no longer running.
+    /// The typed failure this event records, if any: a contained worker
+    /// panic or wedge that was healed, an aborted rescale, or the final
+    /// give-up.
     pub error: Option<Ds2Error>,
+    /// `true` when the failure in `error` was recovered from (instance
+    /// restarted or job redeployed) and the loop kept running.
+    pub recovered: bool,
+}
+
+impl ControlEvent {
+    fn tick(at: Duration) -> Self {
+        Self {
+            at,
+            rescaled_to: None,
+            downtime: None,
+            error: None,
+            recovered: false,
+        }
+    }
 }
 
 /// Runs `controller` against `job` for the configured duration, applying
-/// rescales through the engine's stop-the-world mechanism. Returns the
-/// event log.
+/// rescales through the engine's stop-the-world mechanism and healing
+/// worker failures as they surface. Returns the event log.
 pub fn run_control_loop<R, C>(
     job: &mut RunningJob<R>,
     controller: &mut C,
@@ -59,41 +98,94 @@ where
     let mut events = Vec::new();
     // Align the metrics window with the loop start.
     let _ = job.collect_snapshot();
-    while start.elapsed() < config.duration {
-        std::thread::sleep(config.interval);
+    let interval_ns = config.interval.as_nanos().max(1) as u64;
+    let mut tick: u64 = 0;
+    let mut recoveries: u32 = 0;
+    loop {
+        // Absolute-deadline schedule: tick k fires at start + k * interval.
+        // If the previous tick overran, jump to the latest missed deadline
+        // (fired late, once) instead of bursting through the backlog.
+        tick += 1;
+        let behind = (start.elapsed().as_nanos() as u64) / interval_ns;
+        if behind > tick {
+            tick = behind;
+        }
+        let deadline = Duration::from_nanos(interval_ns.saturating_mul(tick));
+        if deadline > config.duration {
+            break;
+        }
+        if let Some(wait) = (start + deadline).checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+
+        let _ = job.maybe_checkpoint();
+
+        // Heal contained worker failures before reading metrics, so the
+        // snapshot reflects a fully deployed job.
+        let heal = job.heal();
+        for error in heal.healed {
+            events.push(ControlEvent {
+                error: Some(error),
+                recovered: true,
+                ..ControlEvent::tick(start.elapsed())
+            });
+        }
+        if let Some(error) = heal.gave_up {
+            events.push(ControlEvent {
+                error: Some(error),
+                ..ControlEvent::tick(start.elapsed())
+            });
+            break;
+        }
+
         let snapshot = job.collect_snapshot();
         let now_ns = job.elapsed().as_nanos() as u64;
         let current = job.deployment().clone();
         match controller.on_metrics(now_ns, &snapshot, &current) {
-            ControllerVerdict::NoAction => events.push(ControlEvent {
-                at: start.elapsed(),
-                rescaled_to: None,
-                downtime: None,
-                error: None,
-            }),
+            ControllerVerdict::NoAction => events.push(ControlEvent::tick(start.elapsed())),
             ControllerVerdict::Rescale(plan) => match job.rescale(plan.clone()) {
                 Ok(downtime) => {
                     controller.on_deployed(job.elapsed().as_nanos() as u64, &plan);
                     // Discard metrics accumulated across the downtime.
                     let _ = job.collect_snapshot();
                     events.push(ControlEvent {
-                        at: start.elapsed(),
                         rescaled_to: Some(plan),
                         downtime: Some(downtime),
-                        error: None,
+                        ..ControlEvent::tick(start.elapsed())
                     });
                 }
                 Err(e) => {
-                    // The rescale aborted: the controller is NOT told the
-                    // plan deployed, and with the job halted there is
-                    // nothing left to control.
+                    // The rescale aborted and the job is halted. The
+                    // controller is NOT told the plan deployed — a
+                    // verify-then-retry manager will re-issue it once the
+                    // job is healthy again.
+                    if recoveries >= config.max_recoveries {
+                        events.push(ControlEvent {
+                            error: Some(e),
+                            ..ControlEvent::tick(start.elapsed())
+                        });
+                        events.push(ControlEvent {
+                            error: Some(Ds2Error::RecoveryExhausted {
+                                attempts: recoveries,
+                            }),
+                            ..ControlEvent::tick(start.elapsed())
+                        });
+                        break;
+                    }
+                    recoveries += 1;
+                    let backoff = config
+                        .recovery_backoff
+                        .saturating_mul(1 << (recoveries - 1).min(16))
+                        .min(config.interval);
+                    std::thread::sleep(backoff);
+                    job.recover();
+                    // Discard the window spanning the outage.
+                    let _ = job.collect_snapshot();
                     events.push(ControlEvent {
-                        at: start.elapsed(),
-                        rescaled_to: None,
-                        downtime: None,
                         error: Some(e),
+                        recovered: true,
+                        ..ControlEvent::tick(start.elapsed())
                     });
-                    break;
                 }
             },
         }
@@ -106,8 +198,9 @@ mod tests {
     use super::*;
     use crate::job::JobSpec;
     use crate::logic::CostedLogic;
-    use ds2_core::graph::GraphBuilder;
+    use ds2_core::graph::{GraphBuilder, OperatorId};
     use ds2_core::manager::{ManagerConfig, ScalingManager};
+    use ds2_core::snapshot::MetricsSnapshot;
 
     /// End-to-end on real threads: a deliberately slow operator (2 ms per
     /// record => ~500 rec/s per instance) facing a 1200 rec/s source must
@@ -149,6 +242,7 @@ mod tests {
             &ControlConfig {
                 interval: Duration::from_millis(500),
                 duration: Duration::from_secs(6),
+                ..Default::default()
             },
         );
         let final_p = job.deployment().parallelism(OperatorId(1));
@@ -161,5 +255,63 @@ mod tests {
         );
     }
 
-    use ds2_core::graph::OperatorId;
+    /// A controller that burns real time inside `on_metrics` — with the old
+    /// relative-sleep scheduling, that work time stretched every interval.
+    struct SleepyController;
+
+    impl ScalingController for SleepyController {
+        fn name(&self) -> &str {
+            "sleepy"
+        }
+
+        fn on_metrics(
+            &mut self,
+            _now_ns: u64,
+            _snapshot: &MetricsSnapshot,
+            _current: &Deployment,
+        ) -> ControllerVerdict {
+            std::thread::sleep(Duration::from_millis(40));
+            ControllerVerdict::NoAction
+        }
+    }
+
+    /// Interval drift pin: with a 100 ms interval over ~1.05 s and 40 ms of
+    /// controller work per tick, absolute-deadline scheduling still fires
+    /// ~10 ticks. The old `sleep(interval)`-after-work loop drifted to
+    /// ~interval+work per tick (~7 events here).
+    #[test]
+    fn control_loop_does_not_drift_under_slow_ticks() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut spec: JobSpec<u64> = JobSpec::new(g.clone());
+        spec.source(s, 500.0, |n| n, |&r| r);
+        spec.operator(
+            o,
+            || {
+                Box::new(crate::logic::FnLogic::new(
+                    |_r: u64, _out: &mut Vec<u64>| {},
+                ))
+            },
+            |&r| r,
+        );
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 1));
+        let events = run_control_loop(
+            &mut job,
+            &mut SleepyController,
+            &ControlConfig {
+                interval: Duration::from_millis(100),
+                duration: Duration::from_millis(1_050),
+                ..Default::default()
+            },
+        );
+        job.shutdown();
+        assert!(
+            (9..=10).contains(&events.len()),
+            "expected ~10 undrifted ticks in 1.05s at 100ms, got {}",
+            events.len()
+        );
+    }
 }

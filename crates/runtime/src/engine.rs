@@ -8,25 +8,41 @@
 //! [`SharedCounters`]: records in/out, processing time, and input/output
 //! wait time, measured with wall-clock precision around the blocking
 //! channel operations.
+//!
+//! Workers are *supervised*: operator logic runs inside `catch_unwind`, so
+//! a panicking instance reports a typed event (salvaging its keyed state on
+//! the way out) instead of poisoning the job, and [`RunningJob::heal`]
+//! restarts it — reattaching the replacement to the same input queue —
+//! under a bounded per-instance budget. Periodic savepoints
+//! ([`RunningJob::checkpoint`]) clone keyed state into a
+//! [`CheckpointStore`] so even an instance that dies without salvage (or
+//! wedges in user code) recovers its key range.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ds2_core::deployment::Deployment;
 use ds2_core::error::Ds2Error;
 use ds2_core::graph::OperatorId;
 use ds2_core::snapshot::MetricsSnapshot;
 use ds2_metrics::counters::{CounterTotals, SharedCounters};
 
+use crate::chaos::{ChaosAction, ChaosRuntime, InstanceChaos};
+use crate::checkpoint::{partition_state, CheckpointStats, CheckpointStore};
 use crate::job::{JobSpec, KeyFn};
 use crate::logic::{Logic, StateEntry};
+use crate::supervisor::{self, RestartDecision, Supervisor, SupervisorEvent, WorkerCmd};
 
 /// Batches flowing through channels.
 type Batch<R> = Vec<R>;
+
+/// How long a chaos-wedged worker blocks in "user code".
+const WEDGE_SLEEP: Duration = Duration::from_secs(3600);
 
 /// A route from one instance to all instances of one downstream operator.
 struct OutputRoute<R> {
@@ -51,10 +67,16 @@ impl<R: Clone> OutputRoute<R> {
             if bucket.is_empty() {
                 continue;
             }
+            let n = bucket.len() as u64;
             let t0 = Instant::now();
-            // A send error means the receiver is gone (shutdown under way):
-            // drop the batch, the job is being torn down anyway.
-            let _ = self.senders[k].send(bucket);
+            // A send error means every receiver of that instance's queue is
+            // gone. During teardown that is expected; any other time it is
+            // data loss — either way the drop is counted, so degraded
+            // routing shows up in the metrics snapshot instead of
+            // disappearing silently.
+            if self.senders[k].send(bucket).is_err() {
+                counters.add_records_dropped(n);
+            }
             counters.add_wait_output(t0.elapsed().as_nanos() as u64);
         }
     }
@@ -62,9 +84,35 @@ impl<R: Clone> OutputRoute<R> {
 
 /// One deployed instance.
 struct InstanceHandle<R> {
+    /// Instance index within the operator (stable across restarts).
+    instance: usize,
+    /// Monotone spawn counter; supervisor events from older incarnations of
+    /// this slot are stale and ignored.
+    incarnation: u64,
     counters: Arc<SharedCounters>,
     last_totals: CounterTotals,
+    /// Control-command channel into the worker (`None` for sources).
+    cmd_tx: Option<Sender<WorkerCmd>>,
     join: JoinHandle<Option<Box<dyn Logic<R>>>>,
+}
+
+/// The channel endpoints of one operator's input queues. The engine retains
+/// both sides: senders to rebuild routes, receivers so a restarted instance
+/// can reattach to the *same* queue (no in-flight records are lost).
+struct OpChannels<R> {
+    senders: Vec<Sender<Batch<R>>>,
+    receivers: Vec<Receiver<Batch<R>>>,
+}
+
+/// Outcome of one [`RunningJob::heal`] pass.
+#[derive(Debug, Default)]
+pub struct HealOutcome {
+    /// Failures handled this pass — one typed error per instance that was
+    /// restarted (panic) or replaced (wedge).
+    pub healed: Vec<Ds2Error>,
+    /// Set when a restart budget was exhausted: the job is degraded beyond
+    /// the configured tolerance and the caller should stop driving it.
+    pub gave_up: Option<Ds2Error>,
 }
 
 /// A running job: deployed threads plus the control-plane state.
@@ -72,10 +120,35 @@ pub struct RunningJob<R> {
     spec: JobSpec<R>,
     deployment: Deployment,
     instances: BTreeMap<OperatorId, Vec<InstanceHandle<R>>>,
+    channels: BTreeMap<OperatorId, OpChannels<R>>,
+    /// Per-operator halt release: set once every upstream producer has
+    /// exited, telling workers to drain their queue and stop. (The engine's
+    /// retained sender clones mean receivers never observe disconnection
+    /// while the job is alive, so halting is flag-based, not
+    /// disconnect-based.)
+    upstream_done: BTreeMap<OperatorId, Arc<AtomicBool>>,
     stop: Arc<AtomicBool>,
+    sup_tx: Sender<SupervisorEvent>,
+    sup_rx: Receiver<SupervisorEvent>,
+    supervisor: Supervisor,
+    /// Failure events deferred by restart backoff, retried next heal pass.
+    pending_failures: Vec<SupervisorEvent>,
+    /// Instances that missed enough checkpoint deadlines to be presumed
+    /// wedged, awaiting replacement: `(op, instance, incarnation)`.
+    suspect_wedged: Vec<(OperatorId, usize, u64)>,
+    /// Instances abandoned by a timed-out halt: `(op, instance,
+    /// parallelism-at-halt)`, used by [`recover`](Self::recover) to restore
+    /// their key ranges from the latest checkpoint.
+    wedged_at_halt: Vec<(OperatorId, usize, usize)>,
+    checkpoints: CheckpointStore,
+    last_checkpoint_at: Duration,
+    chaos: ChaosRuntime,
+    next_incarnation: u64,
     epoch: Instant,
     last_snapshot: Duration,
     rescales: u32,
+    restarts: u32,
+    recoveries: u32,
     /// State drained from instances that halted cleanly during a rescale
     /// that then timed out. Kept so [`shutdown`](Self::shutdown) still
     /// returns everything salvageable after an aborted rescale.
@@ -89,14 +162,31 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         deployment
             .validate(&spec.graph)
             .expect("invalid deployment");
+        let (sup_tx, sup_rx) = unbounded();
+        let supervisor = Supervisor::new(spec.supervision.clone());
+        let chaos = ChaosRuntime::new(&spec.chaos);
         let mut job = Self {
             spec,
             deployment,
             instances: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            upstream_done: BTreeMap::new(),
             stop: Arc::new(AtomicBool::new(false)),
+            sup_tx,
+            sup_rx,
+            supervisor,
+            pending_failures: Vec::new(),
+            suspect_wedged: Vec::new(),
+            wedged_at_halt: Vec::new(),
+            checkpoints: CheckpointStore::new(),
+            last_checkpoint_at: Duration::ZERO,
+            chaos,
+            next_incarnation: 0,
             epoch: Instant::now(),
             last_snapshot: Duration::ZERO,
             rescales: 0,
+            restarts: 0,
+            recoveries: 0,
             salvaged: BTreeMap::new(),
         };
         job.spawn_all(BTreeMap::new());
@@ -118,85 +208,84 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         self.rescales
     }
 
+    /// Instance restarts performed by supervision (panic or wedge).
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Full redeploys performed by [`recover`](Self::recover).
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// Epoch of the latest committed checkpoint (0 before the first).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.checkpoints.epoch()
+    }
+
+    /// `true` while instances are deployed (a timed-out rescale halts the
+    /// job until [`recover`](Self::recover) redeploys it).
+    pub fn is_running(&self) -> bool {
+        !self.instances.is_empty()
+    }
+
     /// Spawns all instances, restoring `state` (keyed entries per operator)
     /// into the new logic instances.
     fn spawn_all(&mut self, mut state: BTreeMap<OperatorId, Vec<StateEntry>>) {
+        supervisor::install_quiet_panic_hook();
         self.stop = Arc::new(AtomicBool::new(false));
+        self.wedged_at_halt.clear();
+        self.suspect_wedged.clear();
+        self.supervisor.clear_missed();
+        self.channels.clear();
+        self.upstream_done.clear();
 
-        // Create input channels for every non-source instance.
-        let mut rx: BTreeMap<OperatorId, Vec<Receiver<Batch<R>>>> = BTreeMap::new();
-        let mut tx: BTreeMap<OperatorId, Vec<Sender<Batch<R>>>> = BTreeMap::new();
-        for op in self.spec.graph.operators() {
-            if self.spec.graph.is_source(op) {
-                continue;
-            }
+        let graph = &self.spec.graph;
+        let ops: Vec<OperatorId> = graph
+            .operators()
+            .filter(|&op| !graph.is_source(op))
+            .collect();
+
+        // Create input channels for every non-source instance, retaining
+        // both endpoints (see `OpChannels`).
+        for &op in &ops {
             let p = self.deployment.parallelism(op);
-            let mut rxs = Vec::with_capacity(p);
-            let mut txs = Vec::with_capacity(p);
+            let mut senders = Vec::with_capacity(p);
+            let mut receivers = Vec::with_capacity(p);
             for _ in 0..p {
                 let (s, r) = bounded(self.spec.channel_capacity);
-                txs.push(s);
-                rxs.push(r);
+                senders.push(s);
+                receivers.push(r);
             }
-            rx.insert(op, rxs);
-            tx.insert(op, txs);
+            self.channels.insert(op, OpChannels { senders, receivers });
+            self.upstream_done
+                .insert(op, Arc::new(AtomicBool::new(false)));
         }
-
-        let routes_for = |op: OperatorId, key_fn: &KeyFn<R>| -> Vec<OutputRoute<R>> {
-            self.spec
-                .graph
-                .downstream_edges(op)
-                .map(|e| OutputRoute {
-                    senders: tx[&e.to].clone(),
-                    key_fn: Arc::clone(key_fn),
-                })
-                .collect()
-        };
-
-        let mut instances: BTreeMap<OperatorId, Vec<InstanceHandle<R>>> = BTreeMap::new();
 
         // Spawn non-source operators first so their receivers exist before
         // sources start pushing.
-        for op in self.spec.graph.operators() {
-            if self.spec.graph.is_source(op) {
-                continue;
-            }
+        let mut instances: BTreeMap<OperatorId, Vec<InstanceHandle<R>>> = BTreeMap::new();
+        for &op in &ops {
             let p = self.deployment.parallelism(op);
-            let op_spec = self.spec.operators[&op].clone();
-            let op_state = state.remove(&op).unwrap_or_default();
-            // Partition restored state by key.
-            let mut buckets: Vec<Vec<StateEntry>> = (0..p).map(|_| Vec::new()).collect();
-            for (key, value) in op_state {
-                buckets[key as usize % p].push((key, value));
-            }
+            let buckets = partition_state(state.remove(&op).unwrap_or_default(), p);
             let mut handles = Vec::with_capacity(p);
-            let receivers = rx.remove(&op).expect("receivers created above");
-            for (k, receiver) in receivers.into_iter().enumerate() {
-                let mut logic = (op_spec.factory)();
-                logic.restore_state(std::mem::take(&mut buckets[k]));
-                let counters = SharedCounters::new();
-                let routes = routes_for(op, &op_spec.key_fn);
-                let c = Arc::clone(&counters);
-                let join = std::thread::Builder::new()
-                    .name(format!("{}-{k}", self.spec.graph.name(op)))
-                    .spawn(move || Some(worker_loop(logic, receiver, routes, c)))
-                    .expect("spawn worker");
-                handles.push(InstanceHandle {
-                    counters,
-                    last_totals: CounterTotals::default(),
-                    join,
-                });
+            for (k, bucket) in buckets.into_iter().enumerate() {
+                let mut logic = (self.spec.operators[&op].factory)();
+                logic.restore_state(bucket);
+                handles.push(self.spawn_worker(op, k, logic, SharedCounters::new()));
             }
             instances.insert(op, handles);
         }
 
         // Spawn sources.
-        for (&op, src) in &self.spec.sources {
+        let source_ids: Vec<OperatorId> = self.spec.sources.keys().copied().collect();
+        for op in source_ids {
+            let src = self.spec.sources[&op].clone();
             let p = self.deployment.parallelism(op);
             let mut handles = Vec::with_capacity(p);
             for k in 0..p {
                 let counters = SharedCounters::new();
-                let routes = routes_for(op, &src.key_fn);
+                let routes = self.routes_for(op);
                 let c = Arc::clone(&counters);
                 let stop = Arc::clone(&self.stop);
                 let generate = Arc::clone(&src.generate);
@@ -210,8 +299,11 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                     })
                     .expect("spawn source");
                 handles.push(InstanceHandle {
+                    instance: k,
+                    incarnation: 0,
                     counters,
                     last_totals: CounterTotals::default(),
+                    cmd_tx: None,
                     join,
                 });
             }
@@ -221,13 +313,72 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         self.instances = instances;
     }
 
-    /// Stops every thread (sources first, then the pipeline drains through
-    /// channel disconnection) and returns the drained keyed state.
+    /// Routes from `op` to every downstream operator's current queues.
+    fn routes_for(&self, op: OperatorId) -> Vec<OutputRoute<R>> {
+        let key_fn = if self.spec.graph.is_source(op) {
+            Arc::clone(&self.spec.sources[&op].key_fn)
+        } else {
+            Arc::clone(&self.spec.operators[&op].key_fn)
+        };
+        self.spec
+            .graph
+            .downstream_edges(op)
+            .map(|e| OutputRoute {
+                senders: self.channels[&e.to].senders.clone(),
+                key_fn: Arc::clone(&key_fn),
+            })
+            .collect()
+    }
+
+    /// Spawns one supervised worker for `(op, instance)`, attached to the
+    /// operator's retained input queue.
+    fn spawn_worker(
+        &mut self,
+        op: OperatorId,
+        instance: usize,
+        logic: Box<dyn Logic<R>>,
+        counters: Arc<SharedCounters>,
+    ) -> InstanceHandle<R> {
+        self.next_incarnation += 1;
+        let incarnation = self.next_incarnation;
+        // Unbounded so the control plane never blocks sending a command
+        // into a wedged worker's queue.
+        let (cmd_tx, cmd_rx) = unbounded();
+        let ctx = WorkerCtx {
+            op,
+            instance,
+            incarnation,
+            logic,
+            rx: self.channels[&op].receivers[instance].clone(),
+            cmd_rx,
+            routes: self.routes_for(op),
+            counters: Arc::clone(&counters),
+            upstream_done: Arc::clone(&self.upstream_done[&op]),
+            sup_tx: self.sup_tx.clone(),
+            chaos: self.chaos.hook(op, instance),
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("{}-{instance}", self.spec.graph.name(op)))
+            .spawn(move || worker_loop(ctx))
+            .expect("spawn worker");
+        InstanceHandle {
+            instance,
+            incarnation,
+            counters,
+            last_totals: CounterTotals::default(),
+            cmd_tx: Some(cmd_tx),
+            join,
+        }
+    }
+
+    /// Stops every thread and returns the drained keyed state. Sources are
+    /// joined first; each downstream operator is then released in
+    /// topological order by its `upstream_done` flag — when its turn comes,
+    /// every producer has already exited, so its workers drain the queue
+    /// and stop.
     fn halt(&mut self) -> BTreeMap<OperatorId, Vec<StateEntry>> {
         self.stop.store(true, Ordering::SeqCst);
         let mut state: BTreeMap<OperatorId, Vec<StateEntry>> = BTreeMap::new();
-        // Join sources first: their senders drop, disconnecting downstream
-        // receivers once in-flight batches are drained.
         let source_ids: Vec<OperatorId> = self.spec.graph.sources().to_vec();
         for op in source_ids {
             if let Some(handles) = self.instances.remove(&op) {
@@ -236,12 +387,14 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 }
             }
         }
-        // Then every downstream operator in topological order.
         let order: Vec<OperatorId> = self.spec.graph.topological_order().collect();
         for op in order {
             let Some(handles) = self.instances.remove(&op) else {
                 continue;
             };
+            if let Some(flag) = self.upstream_done.get(&op) {
+                flag.store(true, Ordering::SeqCst);
+            }
             let mut entries = Vec::new();
             for h in handles {
                 if let Some(mut logic) = h.join.join().expect("worker thread panicked") {
@@ -250,8 +403,26 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
             }
             state.insert(op, entries);
         }
+        self.drain_failure_salvage(&mut state);
         self.merge_salvaged(&mut state);
+        self.channels.clear();
+        self.upstream_done.clear();
         state
+    }
+
+    /// Folds the salvage carried by unconsumed panic events into `state`.
+    /// An unconsumed event's thread exited without being restarted, so the
+    /// event holds the only copy of its keyed state (a panicked worker's
+    /// join returns `None`).
+    fn drain_failure_salvage(&mut self, state: &mut BTreeMap<OperatorId, Vec<StateEntry>>) {
+        let pending = std::mem::take(&mut self.pending_failures);
+        let fresh = std::iter::from_fn(|| self.sup_rx.try_recv().ok());
+        for event in pending.into_iter().chain(fresh) {
+            let SupervisorEvent::Panicked { op, salvaged, .. } = event;
+            if let Some(entries) = salvaged {
+                state.entry(op).or_default().extend(entries);
+            }
+        }
     }
 
     /// Merges any stash from a previously aborted rescale into `state`.
@@ -264,9 +435,10 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
     /// Like [`halt`](Self::halt), but gives up after `deadline`: instances
     /// are joined as they finish (polling, since a wedged worker would
     /// block a plain `join`), and any instance still running at the
-    /// deadline is abandoned — its thread detaches and its state is lost,
-    /// exactly the cost a real savepoint timeout pays. State drained from
-    /// the instances that did halt is stashed for [`shutdown`](Self::shutdown).
+    /// deadline is abandoned — its thread detaches, and its key range is
+    /// recorded so [`recover`](Self::recover) can restore it from the
+    /// latest checkpoint. State drained from the instances that did halt is
+    /// stashed for [`shutdown`](Self::shutdown) or recovery.
     fn halt_within(
         &mut self,
         deadline: Duration,
@@ -274,6 +446,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         self.stop.store(true, Ordering::SeqCst);
         let limit = Instant::now() + deadline;
         let mut state: BTreeMap<OperatorId, Vec<StateEntry>> = BTreeMap::new();
+        let order: Vec<OperatorId> = self.spec.graph.topological_order().collect();
         loop {
             let mut pending = 0usize;
             for (&op, handles) in self.instances.iter_mut() {
@@ -290,27 +463,57 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 pending += remaining.len();
                 *handles = remaining;
             }
+            // Staged release: an operator may drain and exit once every
+            // upstream producer (source or operator) has fully exited.
+            for &op in &order {
+                if let Some(flag) = self.upstream_done.get(&op) {
+                    if !flag.load(Ordering::SeqCst) {
+                        let released = self
+                            .spec
+                            .graph
+                            .upstream(op)
+                            .iter()
+                            .all(|u| self.instances.get(u).is_none_or(|hs| hs.is_empty()));
+                        if released {
+                            flag.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
             if pending == 0 {
                 self.instances.clear();
+                self.drain_failure_salvage(&mut state);
                 self.merge_salvaged(&mut state);
+                self.channels.clear();
+                self.upstream_done.clear();
                 return Ok(state);
             }
             if Instant::now() >= limit {
-                let wedged: Vec<String> = self
-                    .instances
-                    .values()
-                    .flatten()
-                    .map(|h| h.join.thread().name().unwrap_or("<unnamed>").to_string())
-                    .collect();
+                let mut wedged_names = Vec::new();
+                for (&op, handles) in &self.instances {
+                    for h in handles {
+                        wedged_names
+                            .push(h.join.thread().name().unwrap_or("<unnamed>").to_string());
+                        self.wedged_at_halt
+                            .push((op, h.instance, self.deployment.parallelism(op)));
+                    }
+                }
                 self.instances.clear();
                 for (op, entries) in state {
                     self.salvaged.entry(op).or_default().extend(entries);
                 }
+                let mut rescue = BTreeMap::new();
+                self.drain_failure_salvage(&mut rescue);
+                for (op, entries) in rescue {
+                    self.salvaged.entry(op).or_default().extend(entries);
+                }
+                self.channels.clear();
+                self.upstream_done.clear();
                 return Err(Ds2Error::RescaleTimedOut(format!(
                     "{} instance(s) failed to halt within {:?}: {}",
-                    wedged.len(),
+                    wedged_names.len(),
                     deadline,
-                    wedged.join(", ")
+                    wedged_names.join(", ")
                 )));
             }
             std::thread::sleep(Duration::from_millis(2));
@@ -326,9 +529,10 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
     /// [`Ds2Error::InvalidDeployment`] if `plan` does not match the graph,
     /// or — with [`JobSpec::rescale_timeout`] set — [`Ds2Error::RescaleTimedOut`]
     /// if a worker fails to halt before the deadline. A timed-out rescale
-    /// aborts the job: no new instances are deployed, the rescale counter
+    /// halts the job: no new instances are deployed, the rescale counter
     /// is untouched, and the state salvaged from the workers that did halt
-    /// is returned by the next [`shutdown`](Self::shutdown).
+    /// is either redeployed by [`recover`](Self::recover) or returned by
+    /// the next [`shutdown`](Self::shutdown).
     pub fn rescale(&mut self, plan: Deployment) -> Result<Duration, Ds2Error> {
         plan.validate(&self.spec.graph)?;
         let t0 = Instant::now();
@@ -342,8 +546,229 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         Ok(t0.elapsed())
     }
 
+    /// Redeploys a job that a timed-out rescale left halted: respawns the
+    /// last-good deployment, restoring everything salvaged from the
+    /// cleanly halted instances plus the latest checkpoint's key ranges
+    /// for the instances that wedged (their live state is unreachable —
+    /// the delta since that checkpoint is the bounded loss a wedge costs).
+    /// Returns `false` without touching anything when the job is still
+    /// running.
+    pub fn recover(&mut self) -> bool {
+        if !self.instances.is_empty() {
+            return false;
+        }
+        let mut state = std::mem::take(&mut self.salvaged);
+        for (op, instance, parallelism) in std::mem::take(&mut self.wedged_at_halt) {
+            state
+                .entry(op)
+                .or_default()
+                .extend(self.checkpoints.key_slice(op, instance, parallelism));
+        }
+        self.recoveries += 1;
+        self.spawn_all(state);
+        true
+    }
+
+    /// One supervision pass: restarts panicked instances (restoring their
+    /// salvaged state, or their checkpointed key range when even the
+    /// salvage drain panicked) and replaces wedge suspects from the latest
+    /// checkpoint — each under the per-instance restart budget with
+    /// backoff. Cheap when nothing failed; call it once per control
+    /// interval.
+    pub fn heal(&mut self) -> HealOutcome {
+        let mut outcome = HealOutcome::default();
+        let mut events = std::mem::take(&mut self.pending_failures);
+        while let Ok(e) = self.sup_rx.try_recv() {
+            events.push(e);
+        }
+        for event in events {
+            let SupervisorEvent::Panicked {
+                op,
+                instance,
+                incarnation,
+                salvaged,
+                message,
+            } = event;
+            let live = self
+                .instances
+                .get(&op)
+                .and_then(|hs| hs.get(instance))
+                .is_some_and(|h| h.incarnation == incarnation);
+            if !live {
+                // A stale incarnation (slot already replaced, or job
+                // halted): its state was already restored elsewhere.
+                continue;
+            }
+            match self.supervisor.decide(op, instance, Instant::now()) {
+                RestartDecision::Defer => self.pending_failures.push(SupervisorEvent::Panicked {
+                    op,
+                    instance,
+                    incarnation,
+                    salvaged,
+                    message,
+                }),
+                RestartDecision::GiveUp { attempts } => {
+                    // The slot stays dead; keep its state for shutdown.
+                    if let Some(entries) = salvaged {
+                        self.salvaged.entry(op).or_default().extend(entries);
+                    }
+                    outcome.gave_up = Some(Ds2Error::RecoveryExhausted { attempts });
+                }
+                RestartDecision::Restart => {
+                    self.restart_instance(op, instance, salvaged);
+                    outcome
+                        .healed
+                        .push(Ds2Error::WorkerPanicked { op, instance });
+                }
+            }
+        }
+        // Wedge suspects flagged by missed checkpoint deadlines.
+        let suspects = std::mem::take(&mut self.suspect_wedged);
+        for (op, instance, incarnation) in suspects {
+            let live = self
+                .instances
+                .get(&op)
+                .and_then(|hs| hs.get(instance))
+                .is_some_and(|h| h.incarnation == incarnation && !h.join.is_finished());
+            if !live {
+                // Exited after all (the panic path owns it) or replaced.
+                continue;
+            }
+            match self.supervisor.decide(op, instance, Instant::now()) {
+                RestartDecision::Defer => self.suspect_wedged.push((op, instance, incarnation)),
+                RestartDecision::GiveUp { attempts } => {
+                    outcome.gave_up = Some(Ds2Error::RecoveryExhausted { attempts });
+                }
+                RestartDecision::Restart => {
+                    self.replace_wedged(op, instance);
+                    outcome.healed.push(Ds2Error::WorkerWedged { op, instance });
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Restarts a panicked instance in its slot, reattached to the same
+    /// input queue, restoring `salvaged` (or the checkpointed key range
+    /// when salvage failed).
+    fn restart_instance(
+        &mut self,
+        op: OperatorId,
+        instance: usize,
+        salvaged: Option<Vec<StateEntry>>,
+    ) {
+        let parallelism = self.deployment.parallelism(op);
+        let restore = match salvaged {
+            Some(entries) => entries,
+            None => self.checkpoints.key_slice(op, instance, parallelism),
+        };
+        let mut logic = (self.spec.operators[&op].factory)();
+        logic.restore_state(restore);
+        // The panicked thread is dead, so its counters can carry over — the
+        // metrics window stays continuous across the restart.
+        let (counters, last_totals) = {
+            let old = &self.instances[&op][instance];
+            (Arc::clone(&old.counters), old.last_totals)
+        };
+        let mut h = self.spawn_worker(op, instance, logic, counters);
+        h.last_totals = last_totals;
+        self.restarts += 1;
+        self.instances.get_mut(&op).expect("op deployed")[instance] = h;
+    }
+
+    /// Replaces a wedged instance from the latest checkpoint. The wedged
+    /// thread is abandoned (dropping its handle detaches it); it only holds
+    /// clones of the channel endpoints, so nothing it does can close the
+    /// queues, and it gets fresh counters so its eventual late accounting
+    /// cannot pollute the replacement's metrics.
+    fn replace_wedged(&mut self, op: OperatorId, instance: usize) {
+        let parallelism = self.deployment.parallelism(op);
+        let mut logic = (self.spec.operators[&op].factory)();
+        logic.restore_state(self.checkpoints.key_slice(op, instance, parallelism));
+        let h = self.spawn_worker(op, instance, logic, SharedCounters::new());
+        self.restarts += 1;
+        self.instances.get_mut(&op).expect("op deployed")[instance] = h;
+    }
+
+    /// One savepoint cycle: asks every live non-source instance for a clone
+    /// of its keyed state ([`Logic::snapshot_state`]) and commits the cycle
+    /// only if *all* of them answer within [`JobSpec::checkpoint_timeout`]
+    /// — a partial savepoint (a hole where an instance missed the deadline)
+    /// is worse than keeping the previous complete one. Instances that miss
+    /// repeatedly become wedge suspects for [`heal`](Self::heal).
+    pub fn checkpoint(&mut self) -> CheckpointStats {
+        let t0 = Instant::now();
+        let deadline = t0 + self.spec.checkpoint_timeout;
+        if self.instances.is_empty() {
+            return CheckpointStats {
+                committed_epoch: None,
+                entries: 0,
+                took: t0.elapsed(),
+                unresponsive: Vec::new(),
+            };
+        }
+        let mut replies = Vec::new();
+        let mut dead = false;
+        for (&op, handles) in &self.instances {
+            for h in handles {
+                let Some(cmd_tx) = &h.cmd_tx else {
+                    continue; // sources have no keyed state
+                };
+                if h.join.is_finished() {
+                    // Dead and awaiting heal: a cycle without it would
+                    // commit a hole over its key range.
+                    dead = true;
+                    continue;
+                }
+                let (reply_tx, reply_rx) = bounded(1);
+                let _ = cmd_tx.send(WorkerCmd::Snapshot(reply_tx));
+                replies.push((op, h.instance, h.incarnation, reply_rx));
+            }
+        }
+        let mut gathered: BTreeMap<OperatorId, Vec<StateEntry>> = BTreeMap::new();
+        let mut unresponsive = Vec::new();
+        for (op, instance, incarnation, reply_rx) in replies {
+            let budget = deadline.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(budget) {
+                Ok(entries) => {
+                    self.supervisor.note_checkpoint_ok(op, instance);
+                    gathered.entry(op).or_default().extend(entries);
+                }
+                Err(_) => {
+                    unresponsive.push((op, instance));
+                    if self.supervisor.note_checkpoint_miss(op, instance) {
+                        self.suspect_wedged.push((op, instance, incarnation));
+                    }
+                }
+            }
+        }
+        let committed_epoch = if unresponsive.is_empty() && !dead {
+            Some(self.checkpoints.commit(gathered))
+        } else {
+            None
+        };
+        CheckpointStats {
+            committed_epoch,
+            entries: self.checkpoints.total_entries(),
+            took: t0.elapsed(),
+            unresponsive,
+        }
+    }
+
+    /// Runs a checkpoint cycle if [`JobSpec::checkpoint_interval`] is set
+    /// and due; `None` otherwise. Driven by the control loop.
+    pub fn maybe_checkpoint(&mut self) -> Option<CheckpointStats> {
+        let interval = self.spec.checkpoint_interval?;
+        let now = self.epoch.elapsed();
+        if now.saturating_sub(self.last_checkpoint_at) < interval {
+            return None;
+        }
+        self.last_checkpoint_at = now;
+        Some(self.checkpoint())
+    }
+
     /// Shuts the job down, returning the final drained state (including
-    /// anything salvaged from an aborted rescale).
+    /// anything salvaged from panics or an aborted rescale).
     pub fn shutdown(mut self) -> BTreeMap<OperatorId, Vec<StateEntry>> {
         self.halt()
     }
@@ -356,8 +781,12 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         let mut snap = MetricsSnapshot::new();
         for (&op, handles) in self.instances.iter_mut() {
             let mut metrics = Vec::with_capacity(handles.len());
+            let mut dropped = 0u64;
             for h in handles.iter_mut() {
                 let totals = h.counters.totals();
+                dropped += totals
+                    .records_dropped
+                    .saturating_sub(h.last_totals.records_dropped);
                 metrics.push(totals.window_since(
                     &h.last_totals,
                     window_start.as_nanos() as u64,
@@ -366,6 +795,9 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 h.last_totals = totals;
             }
             snap.insert_instances(op, metrics);
+            if dropped > 0 {
+                snap.set_records_dropped(op, dropped);
+            }
         }
         for (&op, src) in &self.spec.sources {
             snap.set_source_rate(op, src.rate);
@@ -374,41 +806,144 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
     }
 }
 
-/// Worker loop for a non-source instance. Returns the logic for state
-/// migration once every upstream sender disconnected.
-fn worker_loop<R: Clone + Send + 'static>(
-    mut logic: Box<dyn Logic<R>>,
+/// Everything one supervised worker thread owns.
+struct WorkerCtx<R> {
+    op: OperatorId,
+    instance: usize,
+    incarnation: u64,
+    logic: Box<dyn Logic<R>>,
     rx: Receiver<Batch<R>>,
+    cmd_rx: Receiver<WorkerCmd>,
     routes: Vec<OutputRoute<R>>,
     counters: Arc<SharedCounters>,
-) -> Box<dyn Logic<R>> {
+    upstream_done: Arc<AtomicBool>,
+    sup_tx: Sender<SupervisorEvent>,
+    chaos: Option<Arc<InstanceChaos>>,
+}
+
+/// Reports a contained panic to the supervisor, salvaging the logic's
+/// keyed state when it can still be drained (the panic unwound out of
+/// `process`, not out of the logic value itself — a second panic during
+/// the drain falls back to checkpoint recovery).
+fn report_panic<R: 'static>(ctx: &mut WorkerCtx<R>, payload: Box<dyn std::any::Any + Send>) {
+    let salvaged = catch_unwind(AssertUnwindSafe(|| ctx.logic.drain_state())).ok();
+    let _ = ctx.sup_tx.send(SupervisorEvent::Panicked {
+        op: ctx.op,
+        instance: ctx.instance,
+        incarnation: ctx.incarnation,
+        salvaged,
+        message: supervisor::panic_message(payload.as_ref()),
+    });
+}
+
+/// Processes one batch inside the unwind boundary. Returns `false` when
+/// the logic panicked (the worker must exit; the supervisor was told).
+fn run_batch<R: Clone + Send + 'static>(
+    ctx: &mut WorkerCtx<R>,
+    batch: Batch<R>,
+    out_buf: &mut Vec<R>,
+    chaos_delay: &mut Option<Duration>,
+) -> bool {
+    let n_in = batch.len() as u64;
+    let t0 = Instant::now();
+    let result = {
+        let logic = &mut ctx.logic;
+        let chaos = &ctx.chaos;
+        catch_unwind(AssertUnwindSafe(|| {
+            for r in batch {
+                if let Some(hook) = chaos {
+                    match hook.before_record() {
+                        Some(ChaosAction::Crash) => panic!("chaos: injected crash"),
+                        Some(ChaosAction::Wedge) => std::thread::sleep(WEDGE_SLEEP),
+                        Some(ChaosAction::Delay(d)) => *chaos_delay = Some(d),
+                        None => {}
+                    }
+                }
+                if let Some(d) = *chaos_delay {
+                    std::thread::sleep(d);
+                }
+                logic.process(r, out_buf);
+            }
+        }))
+    };
+    ctx.counters.add_processing(t0.elapsed().as_nanos() as u64);
+    match result {
+        Ok(()) => {
+            ctx.counters.add_records_in(n_in);
+            let n_out = out_buf.len() as u64;
+            for route in &ctx.routes {
+                route.send_all(out_buf, &ctx.counters);
+            }
+            ctx.counters.add_records_out(n_out);
+            out_buf.clear();
+            true
+        }
+        Err(payload) => {
+            // Mid-batch panic: outputs of the half-processed batch are not
+            // forwarded and its unprocessed tail is not re-queued —
+            // at-most-once for the failing batch, exactly once for
+            // everything before it.
+            out_buf.clear();
+            report_panic(ctx, payload);
+            false
+        }
+    }
+}
+
+/// Worker loop for a non-source instance. Returns the logic for state
+/// migration once every upstream producer has exited (`None` if the logic
+/// was lost to a panic — the supervisor holds the salvage).
+fn worker_loop<R: Clone + Send + 'static>(mut ctx: WorkerCtx<R>) -> Option<Box<dyn Logic<R>>> {
+    supervisor::mark_supervised();
     let mut out_buf: Vec<R> = Vec::new();
+    let mut chaos_delay: Option<Duration> = None;
     loop {
+        while let Ok(cmd) = ctx.cmd_rx.try_recv() {
+            match cmd {
+                WorkerCmd::Snapshot(reply) => {
+                    match catch_unwind(AssertUnwindSafe(|| ctx.logic.snapshot_state())) {
+                        Ok(entries) => {
+                            // The collector may have timed out and left.
+                            let _ = reply.send(entries);
+                        }
+                        Err(payload) => {
+                            report_panic(&mut ctx, payload);
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
         let t_wait = Instant::now();
-        match rx.recv_timeout(Duration::from_millis(5)) {
+        match ctx.rx.recv_timeout(Duration::from_millis(5)) {
             Ok(batch) => {
-                counters.add_wait_input(t_wait.elapsed().as_nanos() as u64);
-                let n_in = batch.len() as u64;
-                let t0 = Instant::now();
-                for r in batch {
-                    logic.process(r, &mut out_buf);
+                ctx.counters
+                    .add_wait_input(t_wait.elapsed().as_nanos() as u64);
+                if !run_batch(&mut ctx, batch, &mut out_buf, &mut chaos_delay) {
+                    return None;
                 }
-                counters.add_processing(t0.elapsed().as_nanos() as u64);
-                counters.add_records_in(n_in);
-                let n_out = out_buf.len() as u64;
-                for route in &routes {
-                    route.send_all(&out_buf, &counters);
-                }
-                counters.add_records_out(n_out);
-                out_buf.clear();
             }
             Err(RecvTimeoutError::Timeout) => {
-                counters.add_wait_input(t_wait.elapsed().as_nanos() as u64);
+                ctx.counters
+                    .add_wait_input(t_wait.elapsed().as_nanos() as u64);
+                if ctx.upstream_done.load(Ordering::SeqCst) {
+                    // Every upstream producer has exited: drain what is
+                    // left in the queue and halt.
+                    while let Ok(batch) = ctx.rx.try_recv() {
+                        if !run_batch(&mut ctx, batch, &mut out_buf, &mut chaos_delay) {
+                            return None;
+                        }
+                    }
+                    break;
+                }
             }
+            // Backstop: all senders gone (a dropped job tears down this
+            // way; a live engine retains sender clones, so this cannot
+            // fire while the job is running).
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    logic
+    Some(ctx.logic)
 }
 
 /// Source loop: rate-limited generation in batches.
@@ -458,7 +993,8 @@ fn source_loop<R: Clone + Send + 'static>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::logic::FnLogic;
+    use crate::chaos::ChaosSpec;
+    use crate::logic::{FnLogic, StateValue};
     use ds2_core::graph::GraphBuilder;
     use parking_lot::Mutex;
     use std::collections::HashMap;
@@ -480,13 +1016,13 @@ mod tests {
         fn drain_state(&mut self) -> Vec<StateEntry> {
             self.counts
                 .drain()
-                .map(|(k, v)| (k, Box::new(v) as Box<dyn std::any::Any + Send>))
+                .map(|(k, v)| (k, Box::new(v) as Box<dyn StateValue>))
                 .collect()
         }
 
         fn restore_state(&mut self, entries: Vec<StateEntry>) {
             for (k, v) in entries {
-                let v = *v.downcast::<u64>().expect("state is u64");
+                let v = *v.into_any().downcast::<u64>().expect("state is u64");
                 *self.counts.entry(k).or_insert(0) += v;
             }
         }
@@ -586,7 +1122,7 @@ mod tests {
         let sink_total: u64 = sink.lock().values().sum();
         let mut drained_total = 0u64;
         for (_k, v) in state.remove(&c).unwrap_or_default() {
-            drained_total += *v.downcast::<u64>().unwrap();
+            drained_total += *v.into_any().downcast::<u64>().unwrap();
         }
         assert_eq!(
             drained_total, sink_total,
@@ -626,7 +1162,7 @@ mod tests {
         let mut state = job.shutdown();
         let mut drained: HashMap<u64, u64> = HashMap::new();
         for (k, v) in state.remove(&c).unwrap_or_default() {
-            *drained.entry(k).or_insert(0) += *v.downcast::<u64>().unwrap();
+            *drained.entry(k).or_insert(0) += *v.into_any().downcast::<u64>().unwrap();
         }
         let sink_counts = sink.lock().clone();
         assert!(
@@ -702,13 +1238,14 @@ mod tests {
             "error names the wedged instance: {err}"
         );
         assert_eq!(job.rescales(), 0, "aborted rescale must not count");
+        assert!(!job.is_running(), "timed-out rescale leaves the job halted");
 
         // The counting operator halted cleanly during the aborted rescale;
         // its salvaged state must come back intact on shutdown.
         let mut state = job.shutdown();
         let mut drained: HashMap<u64, u64> = HashMap::new();
         for (k, v) in state.remove(&c).unwrap_or_default() {
-            *drained.entry(k).or_insert(0) += *v.downcast::<u64>().unwrap();
+            *drained.entry(k).or_insert(0) += *v.into_any().downcast::<u64>().unwrap();
         }
         assert_eq!(
             drained,
@@ -733,5 +1270,85 @@ mod tests {
             "source rate {out_rate} should be ~10k/s"
         );
         job.shutdown();
+    }
+
+    /// The `send_all` drop counter: a dead receiver no longer loses records
+    /// silently — the drop lands in `SharedCounters::records_dropped`.
+    #[test]
+    fn send_all_counts_drops_when_receiver_is_gone() {
+        let (alive_tx, _alive_rx) = bounded::<Batch<u64>>(4);
+        let (dead_tx, dead_rx) = bounded::<Batch<u64>>(4);
+        drop(dead_rx);
+        let route = OutputRoute {
+            senders: vec![alive_tx, dead_tx],
+            key_fn: Arc::new(|&r: &u64| r) as KeyFn<u64>,
+        };
+        let counters = SharedCounters::new();
+        // Keys 0..6: evens to the live instance, odds to the dead one.
+        route.send_all(&[0, 1, 2, 3, 4, 5], &counters);
+        assert_eq!(counters.totals().records_dropped, 3);
+    }
+
+    /// Tentpole part 1 at the engine level: a chaos-crashed instance is
+    /// restarted by `heal` with its salvaged state, and conservation holds
+    /// exactly (drained == sink per key) because the panic is contained
+    /// before the triggering record reaches the logic.
+    #[test]
+    fn heal_restarts_panicked_instance_with_salvage() {
+        let (mut spec, _s, _m, c, sink) = pipeline(10_000.0);
+        spec.chaos = ChaosSpec::new().crash(c, 0, 500);
+        let g = spec.graph.clone();
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 1));
+
+        let mut healed = Vec::new();
+        for _ in 0..40 {
+            std::thread::sleep(Duration::from_millis(25));
+            let outcome = job.heal();
+            assert!(outcome.gave_up.is_none(), "one crash is within budget");
+            healed.extend(outcome.healed);
+        }
+        assert_eq!(
+            healed,
+            vec![Ds2Error::WorkerPanicked { op: c, instance: 0 }],
+            "exactly one contained crash"
+        );
+        assert_eq!(job.restarts(), 1);
+
+        let mut state = job.shutdown();
+        let mut drained: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in state.remove(&c).unwrap_or_default() {
+            *drained.entry(k).or_insert(0) += *v.into_any().downcast::<u64>().unwrap();
+        }
+        assert_eq!(
+            drained,
+            sink.lock().clone(),
+            "salvage-restored state diverged from sink totals"
+        );
+    }
+
+    /// A savepoint cycle quiesces instances, commits a complete epoch, and
+    /// leaves the running state in place (checkpoint == later drain).
+    #[test]
+    fn checkpoint_commits_full_epochs_without_stealing_state() {
+        let (mut spec, _s, _m, c, sink) = pipeline(10_000.0);
+        spec.checkpoint_timeout = Duration::from_millis(500);
+        let g = spec.graph.clone();
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 2));
+        std::thread::sleep(Duration::from_millis(300));
+
+        let stats = job.checkpoint();
+        assert_eq!(stats.committed_epoch, Some(1), "{:?}", stats.unresponsive);
+        assert!(stats.entries > 0, "keyed state must be captured");
+        assert_eq!(job.checkpoint_epoch(), 1);
+
+        // The checkpoint took copies: the live run keeps counting, and the
+        // final drain still matches the sink exactly.
+        std::thread::sleep(Duration::from_millis(200));
+        let mut state = job.shutdown();
+        let mut drained: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in state.remove(&c).unwrap_or_default() {
+            *drained.entry(k).or_insert(0) += *v.into_any().downcast::<u64>().unwrap();
+        }
+        assert_eq!(drained, sink.lock().clone());
     }
 }

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 use ds2_core::graph::{LogicalGraph, OperatorId};
 
+use crate::chaos::ChaosSpec;
 use crate::logic::Logic;
+use crate::supervisor::SupervisionConfig;
 
 /// Factory producing fresh logic instances for an operator (one per
 /// parallel instance, re-created on every rescale).
@@ -75,6 +77,19 @@ pub struct JobSpec<R> {
     /// rescale with [`Ds2Error::RescaleTimedOut`](ds2_core::error::Ds2Error)
     /// instead of hanging the control plane.
     pub rescale_timeout: Option<Duration>,
+    /// Interval between background savepoint cycles
+    /// ([`RunningJob::maybe_checkpoint`](crate::engine::RunningJob::maybe_checkpoint)).
+    /// `None` (the default) disables checkpointing: fault-free runs keep
+    /// the pre-chaos behaviour with zero snapshot overhead.
+    pub checkpoint_interval: Option<Duration>,
+    /// Deadline for one savepoint cycle: instances that do not reply with
+    /// their state copy in time abort the cycle (the previous complete
+    /// checkpoint is kept) and start counting toward wedge detection.
+    pub checkpoint_timeout: Duration,
+    /// Restart budgets and wedge thresholds for supervised workers.
+    pub supervision: SupervisionConfig,
+    /// Deterministic fault injection; empty (the default) injects nothing.
+    pub chaos: ChaosSpec,
 }
 
 impl<R> JobSpec<R> {
@@ -88,6 +103,10 @@ impl<R> JobSpec<R> {
             batch_size: 128,
             channel_capacity: 64,
             rescale_timeout: None,
+            checkpoint_interval: None,
+            checkpoint_timeout: Duration::from_secs(1),
+            supervision: SupervisionConfig::default(),
+            chaos: ChaosSpec::default(),
         }
     }
 

@@ -11,20 +11,37 @@
 //! It exists to demonstrate — and test — the controller end to end against
 //! genuine measurements rather than modelled ones, at laptop-scale rates.
 //!
+//! Workers are supervised (panics are contained, reported as typed events,
+//! and healed by bounded restarts), keyed state is periodically
+//! checkpointed so even instances that die without salvage recover their
+//! key range, and a deterministic chaos layer injects crashes, wedges, and
+//! stragglers to prove it — the live counterpart of the simulator's fault
+//! model.
+//!
 //! * [`logic`] — the operator `Logic` trait plus adapters;
 //! * [`job`] — job specification (graph + code + rates);
 //! * [`engine`] — deployment, execution, rescaling, metrics collection;
-//! * [`control`] — the live control loop driving any `ScalingController`.
+//! * [`control`] — the self-healing control loop driving any
+//!   `ScalingController`;
+//! * [`supervisor`] — restart budgets, backoff, wedge detection;
+//! * [`checkpoint`] — in-memory savepoints with per-instance key slices;
+//! * [`chaos`] — seeded fault injection for the runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod control;
 pub mod engine;
 pub mod job;
 pub mod logic;
+pub mod supervisor;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosSpec};
+pub use checkpoint::{partition_state, CheckpointStats, CheckpointStore};
 pub use control::{run_control_loop, ControlConfig, ControlEvent};
-pub use engine::RunningJob;
+pub use engine::{HealOutcome, RunningJob};
 pub use job::{JobSpec, OperatorSpec, SourceOpSpec};
-pub use logic::{CostedLogic, FnLogic, Logic, StateEntry};
+pub use logic::{CostedLogic, FnLogic, Logic, StateEntry, StateValue};
+pub use supervisor::SupervisionConfig;

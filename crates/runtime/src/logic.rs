@@ -2,10 +2,46 @@
 
 use std::any::Any;
 
+/// A clonable, type-erased keyed state value.
+///
+/// Implemented automatically for every `Clone + Send + 'static` type, so
+/// operator logic keeps boxing plain values (`u64`, structs, ...). The
+/// clone hook is what lets the engine *copy* state for a checkpoint while
+/// the original stays in place ([`Logic::snapshot_state`]); downcast back
+/// to the concrete type through [`StateValue::into_any`].
+pub trait StateValue: Any + Send {
+    /// Clones the value behind the trait object.
+    fn clone_value(&self) -> Box<dyn StateValue>;
+    /// Borrows the value as `Any` (for `downcast_ref`).
+    fn as_any(&self) -> &dyn Any;
+    /// Consumes the box, upcasting to `Any` (for `downcast`).
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+impl<T: Any + Send + Clone> StateValue for T {
+    fn clone_value(&self) -> Box<dyn StateValue> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+impl Clone for Box<dyn StateValue> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_value()
+    }
+}
+
 /// A keyed state entry drained from (or restored into) an operator
 /// instance during rescaling. The key determines which new instance
 /// receives the entry (`hash(key) % new_parallelism`).
-pub type StateEntry = (u64, Box<dyn Any + Send>);
+pub type StateEntry = (u64, Box<dyn StateValue>);
 
 /// User-defined operator logic over records of type `R`.
 ///
@@ -25,6 +61,17 @@ pub trait Logic<R>: Send + 'static {
 
     /// Restores keyed state drained from a previous deployment.
     fn restore_state(&mut self, _entries: Vec<StateEntry>) {}
+
+    /// Returns a *copy* of this instance's keyed state without giving it up
+    /// — the checkpoint path. The default drains the state and immediately
+    /// restores it in place, returning the clone; override when the logic
+    /// can produce a copy more cheaply than a drain/restore round-trip.
+    fn snapshot_state(&mut self) -> Vec<StateEntry> {
+        let entries = self.drain_state();
+        let copy: Vec<StateEntry> = entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        self.restore_state(entries);
+        copy
+    }
 }
 
 /// Stateless logic from a closure.
@@ -111,6 +158,51 @@ mod tests {
         l.process(5, &mut out);
         assert_eq!(out, vec![10, 15]);
         assert!(l.drain_state().is_empty());
+    }
+
+    #[test]
+    fn snapshot_state_default_copies_without_draining() {
+        struct Sum(u64);
+        impl Logic<u64> for Sum {
+            fn process(&mut self, r: u64, _out: &mut Vec<u64>) {
+                self.0 += r;
+            }
+            fn drain_state(&mut self) -> Vec<StateEntry> {
+                vec![(0, Box::new(std::mem::take(&mut self.0)))]
+            }
+            fn restore_state(&mut self, entries: Vec<StateEntry>) {
+                for (_, v) in entries {
+                    self.0 += *v.into_any().downcast::<u64>().unwrap();
+                }
+            }
+        }
+        let mut l = Sum(7);
+        let copy = l.snapshot_state();
+        // The copy carries the value...
+        assert_eq!(copy.len(), 1);
+        assert_eq!(
+            *copy[0].1.as_ref().as_any().downcast_ref::<u64>().unwrap(),
+            7
+        );
+        // ...and the instance still owns it (drain after snapshot).
+        let drained = l.drain_state();
+        assert_eq!(
+            *drained[0]
+                .1
+                .as_ref()
+                .as_any()
+                .downcast_ref::<u64>()
+                .unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn state_values_clone_independently() {
+        let v: Box<dyn StateValue> = Box::new(41u64);
+        let c = v.clone();
+        assert_eq!(*c.as_ref().as_any().downcast_ref::<u64>().unwrap(), 41);
+        assert_eq!(*v.into_any().downcast::<u64>().unwrap(), 41);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Worker supervision: panic containment, restart budgets with backoff,
+//! and wedge detection via missed checkpoint deadlines.
+//!
+//! Worker threads wrap per-batch `Logic::process` calls in `catch_unwind`.
+//! A panic does not tear the job down: the worker drains whatever state the
+//! logic still holds (the panic left the `Logic` value alive inside the
+//! unwind boundary), ships it to the supervisor channel as a typed event,
+//! and exits. The engine's heal pass then restarts the instance — restoring
+//! the salvaged state, or the latest checkpoint's key range when even the
+//! drain panicked — under a bounded per-instance restart budget with
+//! exponential backoff.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use ds2_core::graph::OperatorId;
+
+use crate::logic::StateEntry;
+
+/// Restart policy for supervised workers.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Maximum restarts per instance over the job's lifetime; exceeding it
+    /// makes healing give up with
+    /// [`Ds2Error::RecoveryExhausted`](ds2_core::error::Ds2Error).
+    pub max_restarts_per_instance: u32,
+    /// Base delay between a failure and the restart of that instance;
+    /// doubles with each restart of the same instance.
+    pub restart_backoff: Duration,
+    /// Consecutive missed checkpoint deadlines before an instance is
+    /// declared wedged and replaced from the latest checkpoint. Requires
+    /// checkpointing to be on; a single miss can be plain backpressure, so
+    /// the default waits for two.
+    pub wedge_after_missed_checkpoints: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts_per_instance: 3,
+            restart_backoff: Duration::from_millis(20),
+            wedge_after_missed_checkpoints: 2,
+        }
+    }
+}
+
+/// A worker → supervisor report, sent right before the worker thread exits.
+pub(crate) enum SupervisorEvent {
+    /// `Logic::process` (or a snapshot request) panicked.
+    Panicked {
+        /// Operator whose instance panicked.
+        op: OperatorId,
+        /// Instance index.
+        instance: usize,
+        /// Incarnation of the handle that spawned this worker; heal ignores
+        /// events from incarnations it already replaced.
+        incarnation: u64,
+        /// State rescued from the panicked logic, when draining it still
+        /// worked. `None` falls back to the latest checkpoint.
+        salvaged: Option<Vec<StateEntry>>,
+        /// The panic payload, as text.
+        message: String,
+    },
+}
+
+/// Commands the engine sends into a worker's control channel.
+pub(crate) enum WorkerCmd {
+    /// Quiesce briefly and reply with a copy of the keyed state.
+    Snapshot(Sender<Vec<StateEntry>>),
+}
+
+/// What the supervisor decides about a failed instance.
+pub(crate) enum RestartDecision {
+    /// Restart now (budget spent, cooldown armed).
+    Restart,
+    /// Still inside the previous restart's backoff window: retry the
+    /// decision on a later heal pass.
+    Defer,
+    /// The per-instance budget is exhausted.
+    GiveUp {
+        /// Restarts already performed for this instance.
+        attempts: u32,
+    },
+}
+
+/// Per-instance restart bookkeeping: budgets, backoff cooldowns, and
+/// missed-checkpoint counts for wedge detection.
+pub(crate) struct Supervisor {
+    config: SupervisionConfig,
+    restarts: BTreeMap<(OperatorId, usize), u32>,
+    not_before: BTreeMap<(OperatorId, usize), Instant>,
+    missed: BTreeMap<(OperatorId, usize), u32>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(config: SupervisionConfig) -> Self {
+        Self {
+            config,
+            restarts: BTreeMap::new(),
+            not_before: BTreeMap::new(),
+            missed: BTreeMap::new(),
+        }
+    }
+
+    /// Decides whether instance `(op, instance)` may restart at `now`.
+    pub(crate) fn decide(
+        &mut self,
+        op: OperatorId,
+        instance: usize,
+        now: Instant,
+    ) -> RestartDecision {
+        let key = (op, instance);
+        if let Some(&t) = self.not_before.get(&key) {
+            if now < t {
+                return RestartDecision::Defer;
+            }
+        }
+        let n = self.restarts.entry(key).or_insert(0);
+        if *n >= self.config.max_restarts_per_instance {
+            return RestartDecision::GiveUp { attempts: *n };
+        }
+        *n += 1;
+        let exp = (*n - 1).min(16);
+        self.not_before
+            .insert(key, now + self.config.restart_backoff * 2u32.pow(exp));
+        RestartDecision::Restart
+    }
+
+    /// Notes a missed checkpoint deadline; `true` once the consecutive-miss
+    /// threshold is reached and the instance should be treated as wedged.
+    pub(crate) fn note_checkpoint_miss(&mut self, op: OperatorId, instance: usize) -> bool {
+        let n = self.missed.entry((op, instance)).or_insert(0);
+        *n += 1;
+        *n >= self.config.wedge_after_missed_checkpoints
+    }
+
+    /// Notes a checkpoint reply in time, resetting the consecutive-miss
+    /// count.
+    pub(crate) fn note_checkpoint_ok(&mut self, op: OperatorId, instance: usize) {
+        self.missed.remove(&(op, instance));
+    }
+
+    /// Forgets all missed-checkpoint counts (after a redeploy every
+    /// incarnation is fresh; restart budgets intentionally survive).
+    pub(crate) fn clear_missed(&mut self) {
+        self.missed.clear();
+    }
+}
+
+thread_local! {
+    static SUPERVISED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as supervised: its panics are captured into
+/// typed supervisor events, so the global hook stays quiet for it.
+pub(crate) fn mark_supervised() {
+    SUPERVISED.with(|c| c.set(true));
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for supervised worker threads — their panics are
+/// expected, contained, and reported through the supervisor channel — while
+/// delegating every other thread's panic to the previous hook.
+pub(crate) fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPERVISED.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_budget_is_bounded_with_backoff() {
+        let op = OperatorId(1);
+        let mut sup = Supervisor::new(SupervisionConfig {
+            max_restarts_per_instance: 2,
+            restart_backoff: Duration::from_millis(10),
+            ..Default::default()
+        });
+        let t0 = Instant::now();
+        assert!(matches!(sup.decide(op, 0, t0), RestartDecision::Restart));
+        // Within the cooldown the next failure is deferred, not restarted.
+        assert!(matches!(sup.decide(op, 0, t0), RestartDecision::Defer));
+        // After the cooldown the second (and last) restart is granted...
+        let t1 = t0 + Duration::from_millis(11);
+        assert!(matches!(sup.decide(op, 0, t1), RestartDecision::Restart));
+        // ...and the budget is then exhausted (cooldown doubled to 20ms).
+        let t2 = t1 + Duration::from_millis(21);
+        assert!(matches!(
+            sup.decide(op, 0, t2),
+            RestartDecision::GiveUp { attempts: 2 }
+        ));
+        // Budgets are per instance: instance 1 is unaffected.
+        assert!(matches!(sup.decide(op, 1, t2), RestartDecision::Restart));
+    }
+
+    #[test]
+    fn wedge_needs_consecutive_misses() {
+        let op = OperatorId(2);
+        let mut sup = Supervisor::new(SupervisionConfig::default());
+        assert!(!sup.note_checkpoint_miss(op, 0), "first miss tolerated");
+        sup.note_checkpoint_ok(op, 0);
+        assert!(!sup.note_checkpoint_miss(op, 0), "count reset by a reply");
+        assert!(sup.note_checkpoint_miss(op, 0), "second consecutive miss");
+    }
+
+    #[test]
+    fn panic_messages_render() {
+        let s: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s.as_ref()), "boom");
+        let s: Box<dyn Any + Send> = Box::new(String::from("kaput"));
+        assert_eq!(panic_message(s.as_ref()), "kaput");
+        let s: Box<dyn Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+}

@@ -94,6 +94,7 @@ fn main() {
         &ControlConfig {
             interval: Duration::from_millis(1000),
             duration: Duration::from_secs(8),
+            ..Default::default()
         },
     );
 

@@ -169,6 +169,7 @@ fn live_runtime_scales_and_conserves_records() {
         &ControlConfig {
             interval: Duration::from_millis(500),
             duration: Duration::from_secs(7),
+            ..Default::default()
         },
     );
     let rescales = events.iter().filter(|e| e.rescaled_to.is_some()).count();
