@@ -25,4 +25,5 @@
 pub mod experiments;
 pub mod output;
 pub mod runners;
+pub mod runtime_pipeline;
 pub mod wordcount;

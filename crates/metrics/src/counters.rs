@@ -250,6 +250,14 @@ pub struct CounterTotals {
 }
 
 impl CounterTotals {
+    /// Records dropped since an earlier reading `start` — the windowed
+    /// companion of [`window_since`](Self::window_since) for the drop
+    /// counter, which is reported per operator rather than per instance
+    /// and therefore lives outside [`InstanceMetrics`].
+    pub fn dropped_since(&self, start: &CounterTotals) -> u64 {
+        self.records_dropped.saturating_sub(start.records_dropped)
+    }
+
     /// Metrics for the window between an earlier reading `start` (taken at
     /// `start_ns`) and this reading (taken at `now_ns`).
     pub fn window_since(
@@ -377,6 +385,20 @@ mod tests {
         assert_eq!(m.useful_ns, 500);
         assert_eq!(m.wait_input_ns, 300);
         assert_eq!(m.window_ns, 2_000);
+    }
+
+    #[test]
+    fn dropped_since_diffs_readings() {
+        let c = SharedCounters::new();
+        c.add_records_dropped(3);
+        let start = c.totals();
+        c.add_records_dropped(4);
+        assert_eq!(c.totals().dropped_since(&start), 4);
+        assert_eq!(
+            start.dropped_since(&c.totals()),
+            0,
+            "saturates, never wraps"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use ds2_core::controller::{ControllerVerdict, ScalingController};
 use ds2_core::deployment::Deployment;
 use ds2_core::error::Ds2Error;
+use ds2_core::snapshot::MetricsSnapshot;
 
 use crate::engine::RunningJob;
 
@@ -96,8 +97,12 @@ where
 {
     let start = Instant::now();
     let mut events = Vec::new();
+    // One snapshot reused across every tick: `collect_snapshot_into`
+    // recycles its operator slots, so the per-interval metrics path stops
+    // allocating once the instance vectors have grown.
+    let mut snapshot = MetricsSnapshot::new();
     // Align the metrics window with the loop start.
-    let _ = job.collect_snapshot();
+    job.collect_snapshot_into(&mut snapshot);
     let interval_ns = config.interval.as_nanos().max(1) as u64;
     let mut tick: u64 = 0;
     let mut recoveries: u32 = 0;
@@ -138,7 +143,7 @@ where
             break;
         }
 
-        let snapshot = job.collect_snapshot();
+        job.collect_snapshot_into(&mut snapshot);
         let now_ns = job.elapsed().as_nanos() as u64;
         let current = job.deployment().clone();
         match controller.on_metrics(now_ns, &snapshot, &current) {
@@ -147,7 +152,7 @@ where
                 Ok(downtime) => {
                     controller.on_deployed(job.elapsed().as_nanos() as u64, &plan);
                     // Discard metrics accumulated across the downtime.
-                    let _ = job.collect_snapshot();
+                    job.collect_snapshot_into(&mut snapshot);
                     events.push(ControlEvent {
                         rescaled_to: Some(plan),
                         downtime: Some(downtime),
@@ -180,7 +185,7 @@ where
                     std::thread::sleep(backoff);
                     job.recover();
                     // Discard the window spanning the outage.
-                    let _ = job.collect_snapshot();
+                    job.collect_snapshot_into(&mut snapshot);
                     events.push(ControlEvent {
                         error: Some(e),
                         recovered: true,

@@ -44,41 +44,173 @@ type Batch<R> = Vec<R>;
 /// How long a chaos-wedged worker blocks in "user code".
 const WEDGE_SLEEP: Duration = Duration::from_secs(3600);
 
+/// A shared free-list of spent batch buffers. Consumers return drained
+/// `Vec`s here and producers refill from it, so the steady-state pipeline
+/// recycles the same allocations around the ring instead of allocating a
+/// fresh `Vec` per batch. Lock granularity is one batch (hundreds to
+/// thousands of records), so the mutex is contended at kHz, not MHz.
+pub(crate) struct BatchPool<R> {
+    free: std::sync::Mutex<Vec<Batch<R>>>,
+    capacity: usize,
+}
+
+impl<R> BatchPool<R> {
+    /// Creates a pool retaining at most `capacity` spare buffers; beyond
+    /// that, returned buffers are simply dropped.
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            free: std::sync::Mutex::new(Vec::with_capacity(capacity.min(1024))),
+            capacity,
+        })
+    }
+
+    /// Takes a spare empty buffer, or a fresh one if the pool is dry.
+    pub(crate) fn get(&self) -> Batch<R> {
+        self.free
+            .lock()
+            .expect("pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a spent buffer to the pool, clearing it first.
+    pub(crate) fn put(&self, mut batch: Batch<R>) {
+        batch.clear();
+        let mut free = self.free.lock().expect("pool lock");
+        if free.len() < self.capacity {
+            free.push(batch);
+        }
+    }
+
+    /// Spare buffers currently pooled (test introspection).
+    #[cfg(test)]
+    fn spares(&self) -> usize {
+        self.free.lock().expect("pool lock").len()
+    }
+}
+
 /// A route from one instance to all instances of one downstream operator.
+///
+/// The per-instance buckets are a reusable arena: they are allocated once
+/// per route and refilled from the [`BatchPool`] as they are shipped, so a
+/// steady-state `send_*` call performs zero allocations. Partitioning uses
+/// a bitmask instead of `%` whenever the downstream parallelism is a power
+/// of two (`k & (p-1) == k % p` exactly then, so routing stays consistent
+/// with [`partition_state`]'s `key % p` rule).
 struct OutputRoute<R> {
     senders: Vec<Sender<Batch<R>>>,
     key_fn: KeyFn<R>,
+    /// `Some(p - 1)` when `senders.len()` is a power of two.
+    mask: Option<u64>,
+    /// Reusable per-instance buckets, always `senders.len()` long.
+    buckets: Vec<Batch<R>>,
+}
+
+impl<R> OutputRoute<R> {
+    fn new(senders: Vec<Sender<Batch<R>>>, key_fn: KeyFn<R>) -> Self {
+        let p = senders.len();
+        let mask = (p.is_power_of_two()).then(|| p as u64 - 1);
+        let buckets = (0..p).map(|_| Batch::new()).collect();
+        Self {
+            senders,
+            key_fn,
+            mask,
+            buckets,
+        }
+    }
+
+    /// Bucket index for a partition key.
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        match self.mask {
+            Some(m) => (key & m) as usize,
+            None => (key % self.senders.len() as u64) as usize,
+        }
+    }
+
+    /// Ships one full bucket, refilling the slot from the pool.
+    ///
+    /// Blocked time is charged to `wait_output` only when the send lands: a
+    /// send error means every receiver of that instance's queue is gone.
+    /// During teardown that is expected; any other time it is data loss —
+    /// either way the drop is counted (and *not* charged as wait, which
+    /// would inflate the blocked-time ratio DS2 derives true rates from),
+    /// so degraded routing shows up in the metrics snapshot instead of
+    /// disappearing silently.
+    fn ship(
+        sender: &Sender<Batch<R>>,
+        bucket: Batch<R>,
+        counters: &SharedCounters,
+        pool: &BatchPool<R>,
+    ) {
+        let n = bucket.len() as u64;
+        let t0 = Instant::now();
+        match sender.send(bucket) {
+            Ok(()) => counters.add_wait_output(t0.elapsed().as_nanos() as u64),
+            Err(err) => {
+                counters.add_records_dropped(n);
+                pool.put(err.0);
+            }
+        }
+    }
+
+    /// Ships every non-empty bucket of the arena.
+    fn flush(&mut self, counters: &SharedCounters, pool: &BatchPool<R>) {
+        for (k, slot) in self.buckets.iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            let full = std::mem::replace(slot, pool.get());
+            Self::ship(&self.senders[k], full, counters, pool);
+        }
+    }
+
+    /// Partitions an owned batch by key and sends the per-instance batches,
+    /// accounting blocked time to `counters`. With a single downstream
+    /// instance the batch is forwarded as-is — no per-record work, no
+    /// clone, no partitioning.
+    fn send_owned(
+        &mut self,
+        mut records: Batch<R>,
+        counters: &SharedCounters,
+        pool: &BatchPool<R>,
+    ) {
+        if records.is_empty() || self.senders.is_empty() {
+            pool.put(records);
+            return;
+        }
+        if self.senders.len() == 1 {
+            Self::ship(&self.senders[0], records, counters, pool);
+            return;
+        }
+        for r in records.drain(..) {
+            let k = self.bucket_of((self.key_fn)(&r));
+            self.buckets[k].push(r);
+        }
+        pool.put(records);
+        self.flush(counters, pool);
+    }
 }
 
 impl<R: Clone> OutputRoute<R> {
-    /// Partitions `records` by key and sends the per-instance batches,
-    /// accounting blocked time to `counters`.
-    fn send_all(&self, records: &[R], counters: &SharedCounters) {
+    /// Like [`send_owned`](Self::send_owned) for a borrowed batch: records
+    /// are cloned into the arena buckets (the caller still owns `records`,
+    /// e.g. because another route consumes it afterwards).
+    fn send_all(&mut self, records: &[R], counters: &SharedCounters, pool: &BatchPool<R>) {
         if records.is_empty() || self.senders.is_empty() {
             return;
         }
-        let p = self.senders.len();
-        let mut buckets: Vec<Batch<R>> = vec![Vec::new(); p];
+        if self.senders.len() == 1 {
+            let mut batch = pool.get();
+            batch.extend_from_slice(records);
+            Self::ship(&self.senders[0], batch, counters, pool);
+            return;
+        }
         for r in records {
-            let k = (self.key_fn)(r) as usize % p;
-            buckets[k].push(r.clone());
+            let k = self.bucket_of((self.key_fn)(r));
+            self.buckets[k].push(r.clone());
         }
-        for (k, bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let n = bucket.len() as u64;
-            let t0 = Instant::now();
-            // A send error means every receiver of that instance's queue is
-            // gone. During teardown that is expected; any other time it is
-            // data loss — either way the drop is counted, so degraded
-            // routing shows up in the metrics snapshot instead of
-            // disappearing silently.
-            if self.senders[k].send(bucket).is_err() {
-                counters.add_records_dropped(n);
-            }
-            counters.add_wait_output(t0.elapsed().as_nanos() as u64);
-        }
+        self.flush(counters, pool);
     }
 }
 
@@ -143,6 +275,10 @@ pub struct RunningJob<R> {
     checkpoints: CheckpointStore,
     last_checkpoint_at: Duration,
     chaos: ChaosRuntime,
+    /// Shared batch-buffer free-list: spent `Vec`s flow back here from
+    /// consumers and are reissued to producers, so the steady-state hot
+    /// path allocates nothing.
+    pool: Arc<BatchPool<R>>,
     next_incarnation: u64,
     epoch: Instant,
     last_snapshot: Duration,
@@ -165,6 +301,9 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         let (sup_tx, sup_rx) = unbounded();
         let supervisor = Supervisor::new(spec.supervision.clone());
         let chaos = ChaosRuntime::new(&spec.chaos);
+        // Spares for every channel slot plus a margin for in-flight
+        // buffers held by the workers themselves.
+        let pool = BatchPool::new(spec.channel_capacity.max(16) * 8);
         let mut job = Self {
             spec,
             deployment,
@@ -181,6 +320,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
             checkpoints: CheckpointStore::new(),
             last_checkpoint_at: Duration::ZERO,
             chaos,
+            pool,
             next_incarnation: 0,
             epoch: Instant::now(),
             last_snapshot: Duration::ZERO,
@@ -291,10 +431,11 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
                 let generate = Arc::clone(&src.generate);
                 let rate = src.rate / p as f64;
                 let batch = self.spec.batch_size;
+                let pool = Arc::clone(&self.pool);
                 let join = std::thread::Builder::new()
                     .name(format!("{}-src-{k}", self.spec.graph.name(op)))
                     .spawn(move || {
-                        source_loop(generate, rate, batch, routes, c, stop);
+                        source_loop(generate, rate, batch, routes, c, stop, pool);
                         None
                     })
                     .expect("spawn source");
@@ -323,10 +464,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         self.spec
             .graph
             .downstream_edges(op)
-            .map(|e| OutputRoute {
-                senders: self.channels[&e.to].senders.clone(),
-                key_fn: Arc::clone(&key_fn),
-            })
+            .map(|e| OutputRoute::new(self.channels[&e.to].senders.clone(), Arc::clone(&key_fn)))
             .collect()
     }
 
@@ -356,6 +494,7 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
             upstream_done: Arc::clone(&self.upstream_done[&op]),
             sup_tx: self.sup_tx.clone(),
             chaos: self.chaos.hook(op, instance),
+            pool: Arc::clone(&self.pool),
         };
         let join = std::thread::Builder::new()
             .name(format!("{}-{instance}", self.spec.graph.name(op)))
@@ -775,26 +914,35 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
 
     /// Closes the instrumentation window and builds a metrics snapshot.
     pub fn collect_snapshot(&mut self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        self.collect_snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Closes the instrumentation window, filling `snap` in place. The
+    /// snapshot's recycled operator slots make the per-interval metrics
+    /// path allocation-free once the instance vectors have grown — the
+    /// control loop reuses one snapshot across its whole run.
+    pub fn collect_snapshot_into(&mut self, snap: &mut MetricsSnapshot) {
         let now = self.epoch.elapsed();
         let window_start = self.last_snapshot;
         self.last_snapshot = now;
-        let mut snap = MetricsSnapshot::new();
+        snap.clear();
         for (&op, handles) in self.instances.iter_mut() {
-            let mut metrics = Vec::with_capacity(handles.len());
             let mut dropped = 0u64;
-            for h in handles.iter_mut() {
-                let totals = h.counters.totals();
-                dropped += totals
-                    .records_dropped
-                    .saturating_sub(h.last_totals.records_dropped);
-                metrics.push(totals.window_since(
-                    &h.last_totals,
-                    window_start.as_nanos() as u64,
-                    now.as_nanos() as u64,
-                ));
-                h.last_totals = totals;
+            {
+                let slot = snap.operator_slot(op);
+                for h in handles.iter_mut() {
+                    let totals = h.counters.totals();
+                    dropped += totals.dropped_since(&h.last_totals);
+                    slot.instances.push(totals.window_since(
+                        &h.last_totals,
+                        window_start.as_nanos() as u64,
+                        now.as_nanos() as u64,
+                    ));
+                    h.last_totals = totals;
+                }
             }
-            snap.insert_instances(op, metrics);
             if dropped > 0 {
                 snap.set_records_dropped(op, dropped);
             }
@@ -802,7 +950,6 @@ impl<R: Clone + Send + 'static> RunningJob<R> {
         for (&op, src) in &self.spec.sources {
             snap.set_source_rate(op, src.rate);
         }
-        snap
     }
 }
 
@@ -819,6 +966,7 @@ struct WorkerCtx<R> {
     upstream_done: Arc<AtomicBool>,
     sup_tx: Sender<SupervisorEvent>,
     chaos: Option<Arc<InstanceChaos>>,
+    pool: Arc<BatchPool<R>>,
 }
 
 /// Reports a contained panic to the supervisor, salvaging the logic's
@@ -840,7 +988,7 @@ fn report_panic<R: 'static>(ctx: &mut WorkerCtx<R>, payload: Box<dyn std::any::A
 /// the logic panicked (the worker must exit; the supervisor was told).
 fn run_batch<R: Clone + Send + 'static>(
     ctx: &mut WorkerCtx<R>,
-    batch: Batch<R>,
+    mut batch: Batch<R>,
     out_buf: &mut Vec<R>,
     chaos_delay: &mut Option<Duration>,
 ) -> bool {
@@ -850,32 +998,50 @@ fn run_batch<R: Clone + Send + 'static>(
         let logic = &mut ctx.logic;
         let chaos = &ctx.chaos;
         catch_unwind(AssertUnwindSafe(|| {
-            for r in batch {
-                if let Some(hook) = chaos {
-                    match hook.before_record() {
-                        Some(ChaosAction::Crash) => panic!("chaos: injected crash"),
-                        Some(ChaosAction::Wedge) => std::thread::sleep(WEDGE_SLEEP),
-                        Some(ChaosAction::Delay(d)) => *chaos_delay = Some(d),
-                        None => {}
+            if chaos.is_none() && chaos_delay.is_none() {
+                // Fault-free fast path: the logic consumes the whole batch
+                // in one call (overridable for vectorized operators).
+                logic.process_batch(&mut batch, out_buf);
+            } else {
+                for r in batch.drain(..) {
+                    if let Some(hook) = chaos {
+                        match hook.before_record() {
+                            Some(ChaosAction::Crash) => panic!("chaos: injected crash"),
+                            Some(ChaosAction::Wedge) => std::thread::sleep(WEDGE_SLEEP),
+                            Some(ChaosAction::Delay(d)) => *chaos_delay = Some(d),
+                            None => {}
+                        }
                     }
+                    if let Some(d) = *chaos_delay {
+                        std::thread::sleep(d);
+                    }
+                    logic.process(r, out_buf);
                 }
-                if let Some(d) = *chaos_delay {
-                    std::thread::sleep(d);
-                }
-                logic.process(r, out_buf);
             }
         }))
     };
     ctx.counters.add_processing(t0.elapsed().as_nanos() as u64);
     match result {
         Ok(()) => {
+            ctx.pool.put(batch);
             ctx.counters.add_records_in(n_in);
             let n_out = out_buf.len() as u64;
-            for route in &ctx.routes {
-                route.send_all(out_buf, &ctx.counters);
+            if n_out > 0 {
+                if let Some((last, rest)) = ctx.routes.split_last_mut() {
+                    // Earlier routes clone from the borrowed buffer; the
+                    // last route consumes it outright, so the common
+                    // single-route topology never clones a record and —
+                    // with one downstream instance — never touches one.
+                    for route in rest {
+                        route.send_all(out_buf, &ctx.counters, &ctx.pool);
+                    }
+                    let owned = std::mem::replace(out_buf, ctx.pool.get());
+                    last.send_owned(owned, &ctx.counters, &ctx.pool);
+                } else {
+                    out_buf.clear();
+                }
             }
             ctx.counters.add_records_out(n_out);
-            out_buf.clear();
             true
         }
         Err(payload) => {
@@ -946,47 +1112,62 @@ fn worker_loop<R: Clone + Send + 'static>(mut ctx: WorkerCtx<R>) -> Option<Box<d
     Some(ctx.logic)
 }
 
-/// Source loop: rate-limited generation in batches.
+/// Source loop: rate-limited generation in batches, scheduled on absolute
+/// deadlines — batch `k` fires at `start + k * interval`, the discipline
+/// [`run_control_loop`](crate::control::run_control_loop) uses for policy
+/// ticks. Sleep overshoot and transiently blocked sends do not accumulate:
+/// a source that falls behind fires its overdue batches back to back until
+/// it is on schedule again, so the observed aggregate rate holds the
+/// configured `rate` exactly instead of drifting below it. (The old
+/// relative-sleep pacing reset its clock on every overrun, silently
+/// donating each overshoot to the clock and under-producing by the sum of
+/// them.) Sustained overload still bounds production through channel
+/// backpressure: the source cannot outrun its blocked sends.
 fn source_loop<R: Clone + Send + 'static>(
     generate: crate::job::SourceFn<R>,
     rate: f64,
     batch_size: usize,
-    routes: Vec<OutputRoute<R>>,
+    mut routes: Vec<OutputRoute<R>>,
     counters: Arc<SharedCounters>,
     stop: Arc<AtomicBool>,
+    pool: Arc<BatchPool<R>>,
 ) {
     if rate <= 0.0 {
         return;
     }
-    let interval = Duration::from_secs_f64(batch_size as f64 / rate);
+    let interval_ns = (batch_size as f64 / rate * 1e9) as u64;
+    let start = Instant::now();
     let mut seq = 0u64;
-    let mut next = Instant::now();
+    let mut fired = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let t0 = Instant::now();
-        let batch: Vec<R> = (0..batch_size)
-            .map(|_| {
-                let r = generate(seq);
-                seq += 1;
-                r
-            })
-            .collect();
+        let mut batch = pool.get();
+        batch.reserve(batch_size);
+        for _ in 0..batch_size {
+            batch.push(generate(seq));
+            seq += 1;
+        }
         counters.add_processing(t0.elapsed().as_nanos() as u64);
-        for route in &routes {
-            route.send_all(&batch, &counters);
-        }
-        counters.add_records_out(batch.len() as u64);
-
-        next += interval;
-        let now = Instant::now();
-        if next > now {
-            let sleep = next - now;
-            counters.add_wait_input(sleep.as_nanos() as u64);
-            std::thread::sleep(sleep);
+        let n = batch.len() as u64;
+        if let Some((last, rest)) = routes.split_last_mut() {
+            for route in rest.iter_mut() {
+                route.send_all(&batch, &counters, &pool);
+            }
+            last.send_owned(batch, &counters, &pool);
         } else {
-            // Falling behind (backpressure or overload): reset the clock so
-            // the source does not try to "catch up" in a burst.
-            next = now;
+            pool.put(batch);
         }
+        counters.add_records_out(n);
+
+        fired += 1;
+        let deadline = Duration::from_nanos(interval_ns.saturating_mul(fired));
+        if let Some(wait) = (start + deadline).checked_duration_since(Instant::now()) {
+            counters.add_wait_input(wait.as_nanos() as u64);
+            std::thread::sleep(wait);
+        }
+        // Behind schedule: fire the next batch immediately. The absolute
+        // deadline stays put, so the backlog is worked off rather than
+        // forgotten.
     }
 }
 
@@ -1279,14 +1460,169 @@ mod tests {
         let (alive_tx, _alive_rx) = bounded::<Batch<u64>>(4);
         let (dead_tx, dead_rx) = bounded::<Batch<u64>>(4);
         drop(dead_rx);
-        let route = OutputRoute {
-            senders: vec![alive_tx, dead_tx],
-            key_fn: Arc::new(|&r: &u64| r) as KeyFn<u64>,
-        };
+        let mut route = OutputRoute::new(
+            vec![alive_tx, dead_tx],
+            Arc::new(|&r: &u64| r) as KeyFn<u64>,
+        );
         let counters = SharedCounters::new();
+        let pool = BatchPool::new(8);
         // Keys 0..6: evens to the live instance, odds to the dead one.
-        route.send_all(&[0, 1, 2, 3, 4, 5], &counters);
+        route.send_all(&[0, 1, 2, 3, 4, 5], &counters, &pool);
         assert_eq!(counters.totals().records_dropped, 3);
+    }
+
+    /// The wait-accounting bugfix next to the drop counter: a *failed* send
+    /// must not add to `wait_output`. Before the fix, every dropped batch
+    /// still charged `t0.elapsed()` to blocked time, so degraded routing
+    /// inflated exactly the wait ratio DS2 subtracts when computing true
+    /// rates. After many failed sends the wait counter must be exactly
+    /// zero; the successful sends alone may charge wait.
+    #[test]
+    fn send_all_charges_wait_only_for_successful_sends() {
+        let (dead_tx, dead_rx) = bounded::<Batch<u64>>(4);
+        drop(dead_rx);
+        let mut route = OutputRoute::new(vec![dead_tx], Arc::new(|&r: &u64| r) as KeyFn<u64>);
+        let counters = SharedCounters::new();
+        let pool = BatchPool::new(8);
+        for _ in 0..1_000 {
+            route.send_all(&[1, 2, 3], &counters, &pool);
+        }
+        let totals = counters.totals();
+        assert_eq!(totals.records_dropped, 3_000);
+        assert_eq!(
+            totals.wait_output_ns, 0,
+            "failed sends must not count as blocked output time"
+        );
+
+        // A successful send does charge wait (possibly 0ns on a fast path,
+        // so only the drop-path invariant is exact).
+        let (alive_tx, alive_rx) = bounded::<Batch<u64>>(4);
+        let mut alive = OutputRoute::new(vec![alive_tx], Arc::new(|&r: &u64| r) as KeyFn<u64>);
+        alive.send_all(&[7], &counters, &pool);
+        assert_eq!(alive_rx.recv().unwrap(), vec![7]);
+        assert_eq!(counters.totals().records_dropped, 3_000);
+    }
+
+    /// Power-of-two downstream parallelism routes through the bitmask path;
+    /// the bucket assignment must equal the `% p` rule `partition_state`
+    /// uses, or keyed state would migrate to instances that never see the
+    /// key's records.
+    #[test]
+    fn pow2_mask_routing_matches_modulo() {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..4).map(|_| bounded::<Batch<u64>>(16)).unzip();
+        let mut route = OutputRoute::new(txs, Arc::new(|&r: &u64| r) as KeyFn<u64>);
+        assert_eq!(route.mask, Some(3));
+        let counters = SharedCounters::new();
+        let pool = BatchPool::new(8);
+        let records: Vec<u64> = (0..64).collect();
+        route.send_all(&records, &counters, &pool);
+        for (k, rx) in rxs.iter().enumerate() {
+            let mut got: Vec<u64> = Vec::new();
+            while let Ok(batch) = rx.try_recv() {
+                got.extend(batch);
+            }
+            assert_eq!(got.len(), 16);
+            assert!(
+                got.iter().all(|r| *r as usize % 4 == k),
+                "instance {k} received keys outside its % 4 residue: {got:?}"
+            );
+        }
+        // Non-power-of-two parallelism takes the modulo path.
+        let (txs3, _rxs3): (Vec<_>, Vec<_>) = (0..3).map(|_| bounded::<Batch<u64>>(16)).unzip();
+        let route3 = OutputRoute::new(txs3, Arc::new(|&r: &u64| r) as KeyFn<u64>);
+        assert_eq!(route3.mask, None);
+        assert_eq!(route3.bucket_of(7), 1);
+    }
+
+    /// The single-downstream-instance fast path forwards the owned batch
+    /// without touching a record: a record type whose `Clone` panics flows
+    /// through `send_owned` untouched.
+    #[test]
+    fn send_owned_single_instance_never_clones() {
+        struct PoisonClone(u64);
+        impl Clone for PoisonClone {
+            fn clone(&self) -> Self {
+                panic!("record cloned on the single-instance fast path");
+            }
+        }
+        let (tx, rx) = bounded::<Batch<PoisonClone>>(4);
+        let mut route = OutputRoute::new(vec![tx], Arc::new(|r: &PoisonClone| r.0));
+        let counters = SharedCounters::new();
+        let pool: Arc<BatchPool<PoisonClone>> = BatchPool::new(8);
+        route.send_owned(vec![PoisonClone(1), PoisonClone(2)], &counters, &pool);
+        let got = rx.recv().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].0, 2);
+    }
+
+    /// Batch recycling: buffers returned to the pool are reissued, and the
+    /// pool never retains more than its capacity.
+    #[test]
+    fn batch_pool_recycles_and_caps() {
+        let pool: Arc<BatchPool<u64>> = BatchPool::new(2);
+        let mut a = pool.get();
+        a.reserve(64);
+        let ptr = a.as_ptr() as usize;
+        pool.put(a);
+        assert_eq!(pool.spares(), 1);
+        let b = pool.get();
+        assert_eq!(b.as_ptr() as usize, ptr, "pooled buffer must be reissued");
+        assert_eq!(b.capacity(), 64);
+        assert!(b.is_empty(), "reissued buffers arrive cleared");
+        pool.put(b);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8)); // over capacity: dropped
+        assert_eq!(pool.spares(), 2);
+    }
+
+    /// Deadline-scheduled pacing: over a 2-second run the source must hold
+    /// the configured rate within 2%, even when a mid-run stall blocks its
+    /// sends for ~150 ms. The old relative-sleep pacing reset its clock on
+    /// every overrun, so a stall (or just accumulated sleep overshoot)
+    /// permanently lowered the observed rate; absolute deadlines work the
+    /// backlog off and converge back onto the schedule.
+    #[test]
+    fn source_holds_configured_rate_within_two_percent() {
+        let mut b = GraphBuilder::new();
+        let s = b.operator("src");
+        let o = b.operator("op");
+        b.connect(s, o);
+        let g = b.build().unwrap();
+        let mut spec: JobSpec<u64> = JobSpec::new(g.clone());
+        // Small channel so the stall actually backpressures the source.
+        spec.channel_capacity = 8;
+        let rate = 50_000.0;
+        spec.source(s, rate, |n| n, |&r| r);
+        let stalled = Arc::new(AtomicBool::new(false));
+        let stalled2 = Arc::clone(&stalled);
+        spec.operator(
+            o,
+            move || {
+                let stalled = Arc::clone(&stalled2);
+                let mut seen = 0u64;
+                Box::new(FnLogic::new(move |_r: u64, _out: &mut Vec<u64>| {
+                    seen += 1;
+                    // One 150ms stall a quarter of the way in.
+                    if seen == 25_000 && !stalled.swap(true, Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(150));
+                    }
+                }))
+            },
+            |&r| r,
+        );
+        let mut job = RunningJob::deploy(spec, Deployment::uniform(&g, 1));
+        // Align the window, run 2s, read the source's observed output rate.
+        let _ = job.collect_snapshot();
+        std::thread::sleep(Duration::from_secs(2));
+        let snap = job.collect_snapshot();
+        job.shutdown();
+        let src = snap.operator(s).unwrap();
+        let observed = src.aggregate_observed_output_rate().unwrap();
+        assert!(stalled.load(Ordering::SeqCst), "the stall must have fired");
+        assert!(
+            (observed - rate).abs() / rate < 0.02,
+            "observed source rate {observed:.0}/s drifted more than 2% from spec {rate}/s"
+        );
     }
 
     /// Tentpole part 1 at the engine level: a chaos-crashed instance is

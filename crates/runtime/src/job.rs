@@ -45,7 +45,12 @@ pub struct SourceOpSpec<R> {
     pub generate: SourceFn<R>,
     /// Extracts the partitioning key from a generated record.
     pub key_fn: KeyFn<R>,
-    /// Aggregate offered rate across instances, records/second.
+    /// Aggregate offered rate across instances, records/second. Each
+    /// instance paces its batches against absolute deadlines
+    /// (`start + k * interval`), so the rate is held exactly over any
+    /// window: time lost to a blocked send is worked off by firing the
+    /// backlog, not silently donated. A rate above what the hardware can
+    /// move saturates the pipeline (the source never sleeps).
     pub rate: f64,
 }
 
@@ -67,7 +72,11 @@ pub struct JobSpec<R> {
     pub operators: BTreeMap<OperatorId, OperatorSpec<R>>,
     /// Drivers for every source operator.
     pub sources: BTreeMap<OperatorId, SourceOpSpec<R>>,
-    /// Records per channel batch (Flink-style buffer granularity).
+    /// Records per channel batch (Flink-style buffer granularity). Batch
+    /// buffers are recycled through the job's free-list
+    /// ([`BatchPool`](crate::engine), sized from `channel_capacity`), so
+    /// larger batches amortize per-batch channel and dispatch costs
+    /// without adding steady-state allocation.
     pub batch_size: usize,
     /// Bounded channel capacity, in batches, per receiving instance.
     pub channel_capacity: usize,

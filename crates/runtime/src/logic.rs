@@ -52,6 +52,21 @@ pub trait Logic<R>: Send + 'static {
     /// Processes one record, appending any outputs.
     fn process(&mut self, record: R, out: &mut Vec<R>);
 
+    /// Processes a whole input batch, draining `batch` and appending any
+    /// outputs. The engine's fault-free hot path calls this once per batch
+    /// instead of [`process`](Self::process) once per record; the default
+    /// simply loops, so implementing `process` alone stays correct.
+    /// Override to amortize per-record overhead (dynamic dispatch, shared
+    /// counter updates, lookups hoistable out of the loop).
+    ///
+    /// Implementations must consume every record of `batch`; records left
+    /// behind are discarded by the engine, not re-queued.
+    fn process_batch(&mut self, batch: &mut Vec<R>, out: &mut Vec<R>) {
+        for r in batch.drain(..) {
+            self.process(r, out);
+        }
+    }
+
     /// Drains this instance's keyed state for migration.
     ///
     /// Stateless operators use the default empty implementation.
@@ -158,6 +173,21 @@ mod tests {
         l.process(5, &mut out);
         assert_eq!(out, vec![10, 15]);
         assert!(l.drain_state().is_empty());
+    }
+
+    #[test]
+    fn process_batch_default_drains_and_matches_per_record() {
+        let mut per_record = FnLogic::new(|r: u64, out: &mut Vec<u64>| out.push(r * 2));
+        let mut batched = FnLogic::new(|r: u64, out: &mut Vec<u64>| out.push(r * 2));
+        let mut a = Vec::new();
+        for r in [1u64, 2, 3] {
+            per_record.process(r, &mut a);
+        }
+        let mut batch = vec![1u64, 2, 3];
+        let mut b = Vec::new();
+        batched.process_batch(&mut batch, &mut b);
+        assert_eq!(a, b);
+        assert!(batch.is_empty(), "the default must consume the batch");
     }
 
     #[test]
